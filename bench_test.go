@@ -1,0 +1,224 @@
+package fourbit
+
+// One benchmark per paper figure (scaled-down durations so `go test
+// -bench=.` finishes in minutes; the fourbitsim CLI runs paper-scale), plus
+// the ablation benches DESIGN.md §5 calls out and micro-benchmarks of the
+// hot paths. Each figure bench reports the figure's headline metrics as
+// custom benchmark outputs (cost, delivery, depth) so regressions in the
+// reproduced *shapes* — not just runtime — are visible in bench diffs.
+
+import (
+	"fmt"
+	"testing"
+
+	"fourbit/internal/core"
+	"fourbit/internal/experiment"
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+	"fourbit/internal/topo"
+)
+
+const benchMinutes = 6 * sim.Minute
+
+func reportRun(b *testing.B, res *experiment.Result, prefix string) {
+	b.ReportMetric(res.Cost, prefix+"cost")
+	b.ReportMetric(res.MeanDepth, prefix+"depth")
+	b.ReportMetric(res.DeliveryRatio*100, prefix+"delivery%")
+}
+
+// BenchmarkFig2RoutingTrees regenerates Figure 2: CTP with a 10-entry
+// table vs MultiHopLQI vs CTP with an unrestricted table on Mirage.
+func BenchmarkFig2RoutingTrees(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunFig2(1, benchMinutes)
+		reportRun(b, r.Runs[0], "ctp_")
+		reportRun(b, r.Runs[1], "lqi_")
+		reportRun(b, r.Runs[2], "unlimited_")
+	}
+}
+
+// BenchmarkFig3LQIBlindspot regenerates Figure 3 (compressed): a
+// MultiHopLQI run on TutorNet where an in-use link turns bursty; the PRR
+// collapses while received-packet LQI stays saturated.
+func BenchmarkFig3LQIBlindspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.DefaultFig3Config(1)
+		cfg.Duration = 90 * sim.Minute
+		cfg.DegradeFrom = 30 * sim.Minute
+		cfg.DegradeUntil = 60 * sim.Minute
+		cfg.Window = 5 * sim.Minute
+		res := experiment.RunFig3(cfg)
+		b.ReportMetric(res.PRRBefore, "prr_before")
+		b.ReportMetric(res.PRRDuring, "prr_during")
+		b.ReportMetric(res.LQIDuring, "lqi_during")
+		b.ReportMetric(res.UnackedRateDuring, "unacked_per_h")
+	}
+}
+
+// BenchmarkFig6DesignSpace regenerates Figure 6: the five estimator
+// variants (CTP, +unidir, +white, 4B, MultiHopLQI) on Mirage.
+func BenchmarkFig6DesignSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunFig6(1, benchMinutes)
+		for _, res := range r.Runs {
+			reportRun(b, res, res.Protocol.String()+"_")
+		}
+	}
+}
+
+// BenchmarkFig7PowerSweep regenerates Figure 7: 4B vs MultiHopLQI at 0,
+// -10 and -20 dBm on Mirage.
+func BenchmarkFig7PowerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunPowerSweep(1, benchMinutes)
+		for j, pw := range r.Powers {
+			b.ReportMetric(r.FB[j].Cost, "4B_cost_"+powerLabel(pw))
+			b.ReportMetric(r.LQI[j].Cost, "LQI_cost_"+powerLabel(pw))
+		}
+	}
+}
+
+// BenchmarkFig8DeliveryDistribution regenerates Figure 8: the per-node
+// delivery distributions behind the power sweep.
+func BenchmarkFig8DeliveryDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunPowerSweep(1, benchMinutes)
+		last := len(r.Powers) - 1
+		b.ReportMetric(minOf(r.FB[last].PerNodeDelivery)*100, "4B_worstnode%_-20dBm")
+		b.ReportMetric(minOf(r.LQI[last].PerNodeDelivery)*100, "LQI_worstnode%_-20dBm")
+	}
+}
+
+// BenchmarkHeadline regenerates the abstract's comparison on both testbeds.
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunHeadline(1, benchMinutes)
+		for j, name := range r.Testbeds {
+			if r.LQI[j].Cost > 0 {
+				gain := 100 * (r.LQI[j].Cost - r.FB[j].Cost) / r.LQI[j].Cost
+				b.ReportMetric(gain, name+"_cost_gain%")
+			}
+		}
+	}
+}
+
+func powerLabel(p float64) string {
+	switch p {
+	case 0:
+		return "0dBm"
+	case -10:
+		return "-10dBm"
+	case -20:
+		return "-20dBm"
+	}
+	return "?"
+}
+
+func minOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// --- Ablations (DESIGN.md §5) ---------------------------------------------
+
+// BenchmarkAblationStreams compares the full hybrid estimator against
+// beacon-only estimation (no ack bit): the agility the unicast stream buys.
+func BenchmarkAblationStreams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tp := topo.Mirage(1)
+		full := experiment.DefaultRunConfig(experiment.Proto4B, tp, 1)
+		full.Duration = benchMinutes
+		noAck := experiment.DefaultRunConfig(experiment.ProtoCTPWhite, tp, 1)
+		noAck.Duration = benchMinutes
+		rFull, rNoAck := experiment.Run(full), experiment.Run(noAck)
+		b.ReportMetric(rFull.Cost, "hybrid_cost")
+		b.ReportMetric(rNoAck.Cost, "beacononly_cost")
+		b.ReportMetric(rFull.DeliveryRatio*100, "hybrid_delivery%")
+		b.ReportMetric(rNoAck.DeliveryRatio*100, "beacononly_delivery%")
+	}
+}
+
+// BenchmarkAblationTablePolicy compares white/compare-gated replacement
+// against the plain never-replace policy (ProtoCTPUnidir) at a small table,
+// where admission policy decides which links exist at all.
+func BenchmarkAblationTablePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tp := topo.Mirage(1)
+		with := experiment.DefaultRunConfig(experiment.Proto4B, tp, 1)
+		with.Duration = benchMinutes
+		without := experiment.DefaultRunConfig(experiment.ProtoCTPUnidir, tp, 1)
+		without.Duration = benchMinutes
+		rWith, rWithout := experiment.Run(with), experiment.Run(without)
+		b.ReportMetric(rWith.Cost, "whitecompare_cost")
+		b.ReportMetric(rWithout.Cost, "roomonly_cost")
+	}
+}
+
+// BenchmarkAblationWindows sweeps the unicast window ku — the tradeoff
+// between sample quality and agility that §3.3 fixes at ku=5.
+func BenchmarkAblationWindows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ku := range []int{2, 5, 10} {
+			est := core.New(1, func() core.Config {
+				c := core.DefaultConfig()
+				c.UnicastWindow = ku
+				return c
+			}(), nil, sim.NewRand(uint64(ku)))
+			est.OnBeacon(7, &packet.LEFrame{Seq: 1}, core.RxMeta{White: true}, 0)
+			est.OnBeacon(7, &packet.LEFrame{Seq: 2}, core.RxMeta{White: true}, 0)
+			// Dead link from t=0: how many transmissions until ETX > 5?
+			tx := 0
+			for {
+				est.TxResult(7, false)
+				tx++
+				if etx, _ := est.Quality(7); etx > 5 || tx > 500 {
+					break
+				}
+			}
+			b.ReportMetric(float64(tx), fmt.Sprintf("tx_to_detect_ku%d", ku))
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths -------------------------------------
+
+func BenchmarkEstimatorOnBeacon(b *testing.B) {
+	est := core.New(1, core.DefaultConfig(), nil, sim.NewRand(1))
+	le := &packet.LEFrame{Seq: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		le.Seq++
+		est.OnBeacon(packet.Addr(2+i%8), le, core.RxMeta{White: true}, sim.Time(i))
+	}
+}
+
+func BenchmarkEstimatorTxResult(b *testing.B) {
+	est := core.New(1, core.DefaultConfig(), nil, sim.NewRand(1))
+	est.OnBeacon(7, &packet.LEFrame{Seq: 1}, core.RxMeta{White: true}, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.TxResult(7, i%3 != 0)
+	}
+}
+
+func BenchmarkSimulatedMinuteCTP(b *testing.B) {
+	// End-to-end simulator throughput: one simulated minute of an 85-node
+	// 4B collection network per iteration.
+	for i := 0; i < b.N; i++ {
+		tp := topo.Mirage(1)
+		rc := experiment.DefaultRunConfig(experiment.Proto4B, tp, uint64(i+1))
+		rc.Duration = 1 * sim.Minute
+		rc.Warmup = 30 * sim.Second
+		experiment.Run(rc)
+	}
+}

@@ -1,0 +1,87 @@
+// Command fourbitsim runs the paper's experiments. Each subcommand
+// regenerates one figure (or the headline table) of "Four-Bit Wireless Link
+// Estimation" (HotNets 2007); see DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	fourbitsim fig2     [-seed N] [-minutes M]
+//	fourbitsim fig3     [-seed N] [-hours H] [-from H] [-until H]
+//	fourbitsim fig6     [-seed N] [-minutes M]
+//	fourbitsim fig7     [-seed N] [-minutes M]
+//	fourbitsim fig8     [-seed N] [-minutes M]
+//	fourbitsim headline [-seed N] [-minutes M]
+//	fourbitsim all      [-seed N] [-minutes M]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fourbit/internal/experiment"
+	"fourbit/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	minutes := fs.Float64("minutes", 25, "simulated duration per run (minutes)")
+	hours := fs.Float64("hours", 12, "fig3: simulated duration (hours)")
+	from := fs.Float64("from", 4, "fig3: degradation start (hours)")
+	until := fs.Float64("until", 6, "fig3: degradation end (hours)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	dur := sim.FromSeconds(*minutes * 60)
+
+	switch cmd {
+	case "fig2":
+		experiment.RunFig2(*seed, dur).Fprint(os.Stdout)
+	case "fig3":
+		cfg := experiment.DefaultFig3Config(*seed)
+		cfg.Duration = sim.FromSeconds(*hours * 3600)
+		cfg.DegradeFrom = sim.FromSeconds(*from * 3600)
+		cfg.DegradeUntil = sim.FromSeconds(*until * 3600)
+		experiment.RunFig3(cfg).Fprint(os.Stdout)
+	case "fig6":
+		experiment.RunFig6(*seed, dur).Fprint(os.Stdout)
+	case "fig7":
+		experiment.RunPowerSweep(*seed, dur).FprintFig7(os.Stdout)
+	case "fig8":
+		experiment.RunPowerSweep(*seed, dur).FprintFig8(os.Stdout)
+	case "headline":
+		experiment.RunHeadline(*seed, dur).Fprint(os.Stdout)
+	case "all":
+		experiment.RunFig2(*seed, dur).Fprint(os.Stdout)
+		fmt.Println()
+		experiment.RunFig6(*seed, dur).Fprint(os.Stdout)
+		fmt.Println()
+		sweep := experiment.RunPowerSweep(*seed, dur)
+		sweep.FprintFig7(os.Stdout)
+		fmt.Println()
+		sweep.FprintFig8(os.Stdout)
+		fmt.Println()
+		experiment.RunHeadline(*seed, dur).Fprint(os.Stdout)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `fourbitsim — reproduce "Four-Bit Wireless Link Estimation" (HotNets'07)
+
+subcommands:
+  fig2      routing trees + cost: CTP(10), MultiHopLQI, CTP(unlimited)
+  fig3      12h MultiHopLQI run; PRR collapses while LQI stays high
+  fig6      design space: CTP, +unidir, +white, 4B, MultiHopLQI
+  fig7      power sweep 0/-10/-20 dBm: cost & depth, 4B vs MultiHopLQI
+  fig8      power sweep: per-node delivery boxplots
+  headline  4B vs MultiHopLQI on Mirage and TutorNet
+  all       everything except fig3`)
+}

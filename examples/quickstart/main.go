@@ -1,0 +1,78 @@
+// Quickstart: drive the 4B link estimator by hand, reproducing the worked
+// example of the paper's Figure 5 — two estimate streams (beacon windows of
+// kb=2, unicast ack windows of ku=5) folded into one hybrid ETX.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"fourbit"
+)
+
+func main() {
+	const me, neighbor = 1, 7
+
+	est := fourbit.NewEstimator(me, fourbit.DefaultEstimatorConfig(), nil, 42)
+
+	show := func(step string) {
+		if etx, ok := est.Quality(neighbor); ok {
+			fmt.Printf("%-42s hybrid ETX = %.4f\n", step, etx)
+		} else {
+			fmt.Printf("%-42s hybrid ETX = (no estimate yet)\n", step)
+		}
+	}
+
+	// A routing beacon arrives from the neighbor. The white bit says the
+	// channel was clean during reception; the sequence number lets the
+	// estimator count losses it never saw.
+	beacon := func(seq uint16) {
+		le := &fourbit.LEFrame{Seq: seq}
+		est.OnBeacon(neighbor, le, fourbit.RxMeta{White: true, LQI: 108}, 0)
+	}
+
+	fmt.Println("== beacon stream (window kb = 2) ==")
+	beacon(1)
+	show("beacon seq 1 received")
+	beacon(2)
+	show("beacon seq 2 received -> window 2/2, PRR 1.0")
+
+	beacon(3)
+	beacon(6) // sequence gap: beacons 4 and 5 were lost
+	show("beacons 3,6 received (4,5 lost) -> PRR 0.5")
+
+	fmt.Println("\n== unicast stream: the ack bit (window ku = 5) ==")
+	for i := 0; i < 5; i++ {
+		est.TxResult(neighbor, i != 0) // 4 of 5 transmissions acked
+	}
+	show("5 data tx, 4 acked -> sample 5/4")
+
+	for i := 0; i < 5; i++ {
+		est.TxResult(neighbor, false)
+	}
+	show("5 straight failures -> sample 5")
+
+	for i := 0; i < 5; i++ {
+		est.TxResult(neighbor, false)
+	}
+	show("5 more failures -> sample 10 (run grows)")
+
+	fmt.Println("\n== the network layer's bits ==")
+	fmt.Printf("pin bit: Pin(%d) = %v (entry now immovable)\n", neighbor, est.Pin(neighbor))
+	fmt.Printf("table: %v\n", est.Neighbors())
+
+	// The compare bit is a callback the estimator issues when a white
+	// packet from an unknown node arrives at a full table.
+	est.SetComparer(fourbit.ComparerFunc(func(src fourbit.Addr, _ []byte) bool {
+		fmt.Printf("compare bit asked for node %v -> saying yes\n", src)
+		return true
+	}))
+	for i := 10; est.Table().Len() < est.Table().Cap(); i++ {
+		le := &fourbit.LEFrame{Seq: 1}
+		est.OnBeacon(fourbit.Addr(i), le, fourbit.RxMeta{White: true}, 0)
+	}
+	le := &fourbit.LEFrame{Seq: 1}
+	est.OnBeacon(99, le, fourbit.RxMeta{White: true}, 0)
+	fmt.Printf("table after white+compare admission: %v\n", est.Neighbors())
+}

@@ -1,0 +1,86 @@
+package fourbit
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as the examples and a
+// downstream user would.
+
+func TestPublicEstimatorLifecycle(t *testing.T) {
+	est := NewEstimator(1, DefaultEstimatorConfig(), nil, 42)
+	le := &LEFrame{Seq: 1}
+	if _, ok := est.OnBeacon(7, le, RxMeta{White: true}, 0); !ok {
+		t.Fatal("OnBeacon failed")
+	}
+	le2 := &LEFrame{Seq: 2}
+	est.OnBeacon(7, le2, RxMeta{White: true}, 0)
+	etx, ok := est.Quality(7)
+	if !ok || etx != 1.0 {
+		t.Fatalf("Quality = (%v, %v), want (1.0, true)", etx, ok)
+	}
+	if !est.Pin(7) || !est.Unpin(7) {
+		t.Fatal("pin bit plumbing broken")
+	}
+}
+
+func TestPublicFeaturesSelectors(t *testing.T) {
+	if !FourBitFeatures().AckBit || !FourBitFeatures().WhiteCompare {
+		t.Fatal("FourBitFeatures incomplete")
+	}
+	if BroadcastOnlyFeatures().AckBit || BroadcastOnlyFeatures().WhiteCompare {
+		t.Fatal("BroadcastOnlyFeatures not empty")
+	}
+}
+
+func TestPublicTopologies(t *testing.T) {
+	if Mirage(1).N() != 85 {
+		t.Fatal("Mirage size wrong")
+	}
+	if TutorNet(1).N() != 94 {
+		t.Fatal("TutorNet size wrong")
+	}
+	if Grid(3, 4, 5).N() != 12 || Line(7, 3).N() != 7 {
+		t.Fatal("generator sizes wrong")
+	}
+}
+
+func TestPublicRunSmallCollection(t *testing.T) {
+	rc := DefaultRunConfig(Proto4B, Grid(3, 3, 14), 5)
+	rc.Duration = 6 * Minute
+	rc.Warmup = 2 * Minute
+	res := Run(rc)
+	if res.DeliveryRatio < 0.9 {
+		t.Fatalf("delivery = %.3f on a small clean grid", res.DeliveryRatio)
+	}
+	if res.Cost < 1 || math.IsNaN(res.Cost) {
+		t.Fatalf("cost = %v", res.Cost)
+	}
+	if res.MeanDepth <= 0 {
+		t.Fatalf("depth = %v", res.MeanDepth)
+	}
+	if len(res.PerNodeDelivery) != 8 {
+		t.Fatalf("per-node delivery entries = %d, want 8", len(res.PerNodeDelivery))
+	}
+}
+
+func TestPublicGilbertElliott(t *testing.T) {
+	ge := NewGilbertElliott(40, Second, Second, 3)
+	bad := 0
+	for i := 0; i < 1000; i++ {
+		if ge.ExtraLossDB(Time(i)*100*Millisecond) > 0 {
+			bad++
+		}
+	}
+	if bad == 0 || bad == 1000 {
+		t.Fatalf("G-E never changed state: bad=%d", bad)
+	}
+}
+
+func TestPublicWorkloadDefaults(t *testing.T) {
+	wl := DefaultWorkload()
+	if wl.Period != 10*Second {
+		t.Fatalf("default period = %v, want the paper's 10 s", wl.Period)
+	}
+}

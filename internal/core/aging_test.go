@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+func TestEvictWorstPrefersSquatters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TableSize = 3
+	est := New(self, cfg, nil, sim.NewRand(1))
+	// Two good neighbors with estimates, one squatter that beacons but
+	// (in broadcast mode it would never mature)... here: make a squatter
+	// by feeding single beacons repeatedly with huge gaps so its window
+	// reinitializes and it completes windows with heavy loss.
+	for seq := uint16(1); seq <= 6; seq++ {
+		beacon(t, est, 1, seq, true)
+		beacon(t, est, 2, seq, true)
+	}
+	// Neighbor 3: receives 1 of every 14 beacons -> terrible but mature.
+	for i := 0; i < 10; i++ {
+		beacon(t, est, 3, uint16(1+i*14), true)
+	}
+	e3 := est.Table().Find(3)
+	if e3 == nil {
+		t.Fatal("setup: 3 missing")
+	}
+	if etx3, ok := e3.ETX(); !ok || etx3 < cfg.EvictETX {
+		t.Fatalf("setup: neighbor 3 should look bad (etx=%v ok=%v)", etx3, ok)
+	}
+	// A newcomer arrives at the full table: the bad entry must go, the
+	// good ones stay.
+	beacon(t, est, 9, 1, false)
+	if est.Table().Find(3) != nil {
+		t.Fatal("worst entry survived")
+	}
+	if est.Table().Find(1) == nil || est.Table().Find(2) == nil {
+		t.Fatal("good entry evicted")
+	}
+	if est.Table().Find(9) == nil {
+		t.Fatal("newcomer not admitted")
+	}
+}
+
+func TestEvictWorstSparesGoodTables(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TableSize = 2
+	est := New(self, cfg, nil, sim.NewRand(1))
+	for seq := uint16(1); seq <= 4; seq++ {
+		beacon(t, est, 1, seq, true)
+		beacon(t, est, 2, seq, true)
+	}
+	// Both entries are perfect; a (non-white) newcomer must be rejected.
+	beacon(t, est, 9, 1, false)
+	if est.Table().Find(9) != nil {
+		t.Fatal("newcomer displaced a good entry without white/compare")
+	}
+}
+
+func TestAgeDoesNotEvict(t *testing.T) {
+	est := newEst(FourBit())
+	beacon(t, est, 7, 1, true)
+	beacon(t, est, 7, 2, true)
+	for i := 1; i <= 50; i++ {
+		est.Age(10*sim.Second, sim.Time(i)*sim.Minute)
+	}
+	if est.Table().Find(7) == nil {
+		t.Fatal("aging removed the entry; it must only degrade the estimate")
+	}
+	etx, ok := est.Quality(7)
+	if !ok {
+		t.Fatal("estimate lost")
+	}
+	// The two EWMA stages degrade gradually; after 25 all-miss windows the
+	// estimate must be far above any usable link (enough to re-route).
+	if etx < 5 {
+		t.Fatalf("long-dead neighbor ETX = %v, want clearly degraded (> 5)", etx)
+	}
+}
+
+func TestPinnedParentAgesButSurvivesReplacement(t *testing.T) {
+	cmp := ComparerFunc(func(packet.Addr, []byte) bool { return true })
+	cfg := DefaultConfig()
+	cfg.TableSize = 2
+	est := New(self, cfg, cmp, sim.NewRand(1))
+	beacon(t, est, 1, 1, true)
+	beacon(t, est, 1, 2, true)
+	beacon(t, est, 2, 1, true)
+	est.Pin(1)
+	// Age hard: entry 1 degrades to MaxETX-ish but must survive any
+	// admission pressure because it is pinned.
+	for i := 1; i <= 60; i++ {
+		est.Age(sim.Second, sim.Time(i)*sim.Minute)
+	}
+	for a := packet.Addr(10); a < 20; a++ {
+		beacon(t, est, a, 1, true)
+	}
+	if est.Table().Find(1) == nil {
+		t.Fatal("pinned, aged parent evicted")
+	}
+}
+
+// Property: Quality(x) transitions monotonically through feed order — more
+// precisely, the estimate never becomes NaN/Inf and Neighbors never exceeds
+// the configured table size no matter the input interleaving.
+func TestPropertyEstimatorRobustness(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		cmp := ComparerFunc(func(packet.Addr, []byte) bool { return seed%2 == 0 })
+		cfg := DefaultConfig()
+		cfg.TableSize = 4
+		est := New(self, cfg, cmp, sim.NewRand(seed))
+		now := sim.Time(0)
+		seqs := map[packet.Addr]uint16{}
+		for _, op := range ops {
+			addr := packet.Addr(op%9 + 1)
+			now += sim.Time(op%1000) * sim.Millisecond
+			switch op % 5 {
+			case 0, 1:
+				seqs[addr] += uint16(op%4) + 1
+				est.OnBeacon(addr, &packet.LEFrame{Seq: seqs[addr]}, RxMeta{White: op%2 == 0}, now)
+			case 2:
+				est.TxResult(addr, op%3 == 0)
+			case 3:
+				est.Pin(addr)
+				est.Unpin(addr)
+			case 4:
+				est.Age(sim.Second, now)
+			}
+			if est.Table().Len() > cfg.TableSize {
+				return false
+			}
+			for _, a := range est.Neighbors() {
+				if etx, ok := est.Quality(a); ok {
+					if math.IsNaN(etx) || math.IsInf(etx, 0) || etx < 1 || etx > cfg.MaxETX {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeBeaconRespectsWireLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TableSize = 40
+	cfg.FooterEntries = 100 // deliberately above the wire maximum
+	est := New(self, cfg, nil, sim.NewRand(1))
+	for a := packet.Addr(1); a <= 40; a++ {
+		beacon(t, est, a, 1, true)
+		beacon(t, est, a, 2, true)
+	}
+	le := est.MakeBeacon(nil)
+	if len(le.Entries) > packet.MaxLinkEntries {
+		t.Fatalf("footer %d entries exceeds wire maximum %d", len(le.Entries), packet.MaxLinkEntries)
+	}
+	if _, err := le.Encode(); err != nil {
+		t.Fatalf("beacon does not encode: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package core implements the paper's contribution: a link estimator driven
+// by four bits of protocol-independent, cross-layer information.
+//
+// The four bits (§3.1 of the paper):
+//
+//   - white bit (physical layer, per received packet): set when every
+//     symbol in the packet had a very low probability of decoding error —
+//     the medium was clean during reception. Carried here in RxMeta.White,
+//     produced by the phy layer.
+//   - ack bit (link layer, per transmitted unicast): set when a synchronous
+//     layer-2 acknowledgment arrived for the transmission. Fed to the
+//     estimator through Estimator.TxResult.
+//   - pin bit (network layer, per link-table entry): while set the
+//     estimator may not evict the entry. Set via Estimator.Pin / Unpin.
+//   - compare bit (network layer, per received routing packet, on demand):
+//     the estimator asks the network layer whether the packet's sender
+//     offers a route better than some current table entry. Supplied by the
+//     network layer implementing Comparer.
+//
+// The estimator itself (Estimator) follows §3.3: a small table of candidate
+// links managed with Woo et al.'s algorithm (random unpinned eviction gated
+// on white+compare), and a hybrid ETX estimate combining a windowed-EWMA
+// over beacon reception with windowed unicast ack counts.
+package core
+
+import "fourbit/internal/packet"
+
+// RxMeta is the physical-layer metadata the estimator sees for a received
+// routing packet. Only the white bit is consumed by the 4B design; LQI is
+// carried for LQI-based comparison protocols and diagnostics.
+type RxMeta struct {
+	White bool
+	LQI   uint8
+	SNRdB float64
+}
+
+// Comparer is the network layer's side of the compare bit. CompareBit
+// reports whether the network-layer routing information in netPayload,
+// received from src, advertises a route better than the route provided by
+// one or more entries currently in the link table. The network layer may
+// decline (return false) for packets it cannot judge.
+type Comparer interface {
+	CompareBit(src packet.Addr, netPayload []byte) bool
+}
+
+// ComparerFunc adapts a function to the Comparer interface.
+type ComparerFunc func(src packet.Addr, netPayload []byte) bool
+
+// CompareBit implements Comparer.
+func (f ComparerFunc) CompareBit(src packet.Addr, netPayload []byte) bool {
+	return f(src, netPayload)
+}
+
+// Features selects which of the four bits the estimator actually uses,
+// spanning the design space of the paper's Figure 6:
+//
+//	{}                          — the original CTP/MintRoute broadcast
+//	                              estimator: bidirectional beacon ETX, no
+//	                              table replacement once full
+//	{AckBit}                    — "CTP + unidirectional estimation": beacon
+//	                              bootstrap refined by data-ack windows
+//	{WhiteCompare}              — "CTP + white bit": broadcast estimator
+//	                              plus white/compare-gated table replacement
+//	{AckBit, WhiteCompare}      — the full 4B estimator
+//
+// The pin bit is always honored; it protects in-use routes regardless of
+// variant (every protocol in the paper's comparison pins its parent).
+type Features struct {
+	AckBit       bool
+	WhiteCompare bool
+}
+
+// FourBit returns the full feature set of the paper's estimator.
+func FourBit() Features { return Features{AckBit: true, WhiteCompare: true} }
+
+// BroadcastOnly returns the original CTP estimator's feature set.
+func BroadcastOnly() Features { return Features{} }
+
+// String names the variant as the paper's Figure 6 does.
+func (f Features) String() string {
+	switch {
+	case f.AckBit && f.WhiteCompare:
+		return "4B"
+	case f.AckBit:
+		return "CTP+unidir"
+	case f.WhiteCompare:
+		return "CTP+white"
+	default:
+		return "CTP"
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// Entry is one candidate link in the estimator's table. Fields are managed
+// by the estimator; external layers interact only through the pin bit and
+// the published ETX.
+type Entry struct {
+	Addr   packet.Addr
+	Pinned bool // the pin bit: network layer forbids eviction
+
+	// Inbound beacon stream (sequence-number based reception counting).
+	seqInit   bool
+	lastSeq   uint16
+	rcvd      int
+	missed    int
+	prrInit   bool
+	prrEwma   float64
+	lastHeard sim.Time
+
+	// Reverse (outbound) quality learned from the neighbor's beacon
+	// footers. Only the broadcast-bidirectional variants need it.
+	outQuality float64
+	outValid   bool
+
+	// Unicast (data) stream, driven by the ack bit.
+	uTotal     int
+	uAcked     int
+	failsSince int
+
+	// Hybrid ETX (the outer EWMA of Figure 5).
+	etxInit bool
+	etx     float64
+
+	// windows counts completed beacon windows; the eviction policy uses it
+	// to distinguish warming-up entries from estimate-less squatters.
+	windows int
+}
+
+// ETX returns the current hybrid estimate and whether one exists yet.
+func (e *Entry) ETX() (float64, bool) { return e.etx, e.etxInit }
+
+// InboundQuality returns the EWMA beacon reception ratio from the neighbor
+// (the value advertised in beacon footers) and whether it is initialized.
+func (e *Entry) InboundQuality() (float64, bool) { return e.prrEwma, e.prrInit }
+
+// LastHeard returns the time the neighbor was last received from.
+func (e *Entry) LastHeard() sim.Time { return e.lastHeard }
+
+// Table is the fixed-capacity link table with pin-aware random eviction.
+// The zero Table is unusable; use newTable.
+type Table struct {
+	cap     int
+	entries []*Entry
+}
+
+func newTable(capacity int) *Table {
+	return &Table{cap: capacity}
+}
+
+// Cap returns the table capacity.
+func (t *Table) Cap() int { return t.cap }
+
+// Len returns the number of occupied slots.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Find returns the entry for addr, or nil.
+func (t *Table) Find(addr packet.Addr) *Entry {
+	for _, e := range t.entries {
+		if e.Addr == addr {
+			return e
+		}
+	}
+	return nil
+}
+
+// Insert adds a fresh entry for addr if there is room, returning it; it
+// returns nil when the table is full. Inserting an existing address returns
+// the existing entry.
+func (t *Table) Insert(addr packet.Addr) *Entry {
+	if e := t.Find(addr); e != nil {
+		return e
+	}
+	if len(t.entries) >= t.cap {
+		return nil
+	}
+	e := &Entry{Addr: addr}
+	t.entries = append(t.entries, e)
+	return e
+}
+
+// EvictRandomUnpinned removes one uniformly-chosen unpinned entry — the
+// replacement policy of §3.3 — and reports whether a slot was freed.
+func (t *Table) EvictRandomUnpinned(rng *sim.Rand) bool {
+	var victims []int
+	for i, e := range t.entries {
+		if !e.Pinned {
+			victims = append(victims, i)
+		}
+	}
+	if len(victims) == 0 {
+		return false
+	}
+	i := victims[rng.Intn(len(victims))]
+	t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	return true
+}
+
+// Remove deletes addr from the table (regardless of pinning; the network
+// layer unpins before asking). It reports whether the entry existed.
+func (t *Table) Remove(addr packet.Addr) bool {
+	for i, e := range t.entries {
+		if e.Addr == addr {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Pin sets the pin bit on addr's entry, reporting success.
+func (t *Table) Pin(addr packet.Addr) bool {
+	if e := t.Find(addr); e != nil {
+		e.Pinned = true
+		return true
+	}
+	return false
+}
+
+// Unpin clears the pin bit on addr's entry, reporting success.
+func (t *Table) Unpin(addr packet.Addr) bool {
+	if e := t.Find(addr); e != nil {
+		e.Pinned = false
+		return true
+	}
+	return false
+}
+
+// Entries returns the live entries in insertion order. The slice is shared;
+// callers must not mutate it.
+func (t *Table) Entries() []*Entry { return t.entries }

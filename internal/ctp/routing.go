@@ -1,0 +1,214 @@
+package ctp
+
+import (
+	"fourbit/internal/core"
+	"fourbit/internal/mac"
+	"fourbit/internal/packet"
+	"fourbit/internal/phy"
+)
+
+// onBeaconFrame runs a received routing beacon through the link estimator
+// (layer 2.5: sequence accounting, white/compare admission) and then
+// processes the inner routing frame.
+func (n *Node) onBeaconFrame(f *packet.Frame, info phy.RxInfo) {
+	le, err := packet.DecodeLEFrame(f.Payload)
+	if err != nil {
+		return
+	}
+	meta := core.RxMeta{White: info.White, LQI: info.LQI, SNRdB: info.SNRdB}
+	netPayload, ok := n.est.OnBeacon(f.Src, le, meta, n.clock.Now())
+	if !ok || netPayload == nil {
+		return
+	}
+	cb, err := packet.DecodeCTPBeacon(netPayload)
+	if err != nil {
+		return
+	}
+	n.handleBeacon(f.Src, cb)
+}
+
+func (n *Node) handleBeacon(src packet.Addr, cb *packet.CTPBeacon) {
+	cost := noCost
+	if cb.ETX != invalidETX {
+		cost = float64(cb.ETX) / 10
+	}
+	n.routes[src] = &routeEntry{cost: cost, parent: cb.Parent, lastHeard: n.clock.Now()}
+	// A pull-flagged beacon asks route-holding neighbors to beacon soon.
+	if cb.Options&packet.CTPOptPull != 0 && n.hasRoute() {
+		n.trickleReset()
+	}
+	n.updateRoute()
+}
+
+func (n *Node) hasRoute() bool { return n.isRoot || n.parent != packet.None }
+
+// totalCost returns the path ETX through neighbor a: its advertised cost
+// plus our link's estimated ETX. ok is false when either half is unknown.
+func (n *Node) totalCost(a packet.Addr) (float64, bool) {
+	r := n.routes[a]
+	if r == nil || r.cost == noCost {
+		return 0, false
+	}
+	etx, ok := n.est.Quality(a)
+	if !ok {
+		return 0, false
+	}
+	return r.cost + etx, true
+}
+
+// updateRoute runs CTP's parent selection: minimize advertised cost + link
+// ETX over estimated neighbors, with hysteresis (ParentSwitchThreshold)
+// protecting the incumbent, and never choosing a neighbor that routes
+// through us. The chosen parent is pinned in the estimator's table.
+func (n *Node) updateRoute() {
+	if n.isRoot {
+		return
+	}
+	best := packet.None
+	bestTotal := noCost
+	for a, r := range n.routes {
+		if r.parent == n.self {
+			continue // our own child; choosing it would loop
+		}
+		total, ok := n.totalCost(a)
+		if !ok {
+			continue
+		}
+		if total < bestTotal || (total == bestTotal && a < best) {
+			best, bestTotal = a, total
+		}
+	}
+	curTotal, curOK := noCost, false
+	if n.parent != packet.None {
+		curTotal, curOK = n.totalCost(n.parent)
+	}
+
+	switch {
+	case best == packet.None:
+		if n.parent != packet.None {
+			n.est.Unpin(n.parent)
+			n.parent = packet.None
+			n.cost = noCost
+			n.Stats.ParentChanges++
+			n.trickleReset() // lost the route: ask for help (pull)
+		}
+	case !curOK || bestTotal+n.cfg.ParentSwitchThreshold < curTotal:
+		if best != n.parent {
+			if n.parent != packet.None {
+				n.est.Unpin(n.parent)
+			}
+			hadRoute := n.parent != packet.None
+			n.parent = best
+			n.est.Pin(best)
+			n.Stats.ParentChanges++
+			n.cost = bestTotal
+			if !hadRoute || curOK {
+				n.trickleReset()
+			}
+			n.pump()
+		} else {
+			n.cost = bestTotal
+		}
+	default:
+		n.cost = curTotal
+	}
+}
+
+// trickleReset drops the beacon interval to the minimum and reschedules.
+func (n *Node) trickleReset() {
+	n.interval = n.cfg.BeaconMin
+	n.Stats.TrickleResets++
+	n.scheduleBeacon()
+}
+
+func (n *Node) scheduleBeacon() {
+	if n.beacon != nil {
+		n.beacon.Cancel()
+	}
+	delay := n.rng.UniformTime(n.interval/2, n.interval)
+	n.beacon = n.clock.After(delay, n.beaconFire)
+}
+
+func (n *Node) beaconFire() {
+	n.sendBeacon()
+	if n.interval < n.cfg.BeaconMax {
+		n.interval *= 2
+		if n.interval > n.cfg.BeaconMax {
+			n.interval = n.cfg.BeaconMax
+		}
+	}
+	n.scheduleBeacon()
+}
+
+// sendBeacon emits one routing beacon through the estimator's LE envelope.
+// If the MAC is mid-transmission the beacon is skipped (the Trickle timer
+// will come around again) — beacons are advisory traffic.
+func (n *Node) sendBeacon() {
+	if n.m.Busy() {
+		return
+	}
+	n.est.Age(n.interval.Scale(n.cfg.AgeFactor), n.clock.Now())
+	cb := &packet.CTPBeacon{Parent: n.parent, ETX: n.costFixed()}
+	if !n.hasRoute() {
+		cb.Options |= packet.CTPOptPull
+	}
+	cbBytes, err := cb.Encode()
+	if err != nil {
+		panic("ctp: beacon encode: " + err.Error())
+	}
+	le := n.est.MakeBeacon(cbBytes)
+	leBytes, err := le.Encode()
+	if err != nil {
+		panic("ctp: LE encode: " + err.Error())
+	}
+	f := &packet.Frame{Type: packet.TypeBeacon, Src: n.self, Dst: packet.Broadcast, Payload: leBytes}
+	if n.m.Send(f, func(mac.TxResult) { n.pump() }) == nil {
+		n.Stats.BeaconsSent++
+	}
+}
+
+// costFixed converts the node's cost to the 1/10-ETX wire representation.
+func (n *Node) costFixed() uint16 {
+	if n.cost == noCost {
+		return invalidETX
+	}
+	v := n.cost * 10
+	if v >= invalidETX {
+		return invalidETX
+	}
+	return uint16(v + 0.5)
+}
+
+// CompareBit implements core.Comparer (§3.1): it reports whether the
+// routing frame in netPayload, heard from src, advertises a route better
+// than the route provided by one or more entries in the link table — i.e.
+// whether src is worth a table slot. A node with no route says yes to any
+// routed sender.
+func (n *Node) CompareBit(src packet.Addr, netPayload []byte) bool {
+	cb, err := packet.DecodeCTPBeacon(netPayload)
+	if err != nil {
+		return false
+	}
+	if cb.ETX == invalidETX || cb.Parent == n.self {
+		return false
+	}
+	senderCost := float64(cb.ETX) / 10
+	if !n.hasRoute() {
+		return true
+	}
+	// Optimistically the sender is one perfect hop away. The bit is set
+	// only if that beats the path through some current table entry with a
+	// computable route by at least the parent-switch margin — a weaker
+	// newcomer could never change routing, so evicting for it would be
+	// pure table churn.
+	optimistic := senderCost + 1 + n.cfg.ParentSwitchThreshold
+	for _, a := range n.est.Neighbors() {
+		if a == n.parent {
+			continue
+		}
+		if total, ok := n.totalCost(a); ok && optimistic < total {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"fourbit/internal/metrics"
+	"fourbit/internal/topo"
+)
+
+// RenderTree draws the routing tree over the floor plan as ASCII, in the
+// style of the paper's Figure 2: each node is printed at its position as
+// its tree depth ('R' for the root, '.' for detached nodes); darker (higher
+// digits) means longer paths to the root.
+func RenderTree(tp *topo.Topology, parents []int, cols, rows int) string {
+	depths := metrics.TreeDepths(parents, tp.Root)
+	var maxX, maxY float64
+	for _, p := range tp.Positions {
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	place := func(i int, c byte) {
+		p := tp.Positions[i]
+		x := int(p.X / maxX * float64(cols-1))
+		// Screen rows grow downward; put Y=0 at the bottom as in the paper.
+		y := rows - 1 - int(p.Y/maxY*float64(rows-1))
+		grid[y][x] = c
+	}
+	for i := range tp.Positions {
+		var c byte
+		switch d := depths[i]; {
+		case i == tp.Root:
+			continue // placed last so it is never overdrawn
+		case d < 0:
+			c = '.'
+		case d > 9:
+			c = '+'
+		default:
+			c = byte('0' + d)
+		}
+		place(i, c)
+	}
+	place(tp.Root, 'R')
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DepthHistogram summarizes a depth slice as "depth:count" pairs.
+func DepthHistogram(depths []int, root int) string {
+	counts := map[int]int{}
+	maxD := 0
+	for i, d := range depths {
+		if i == root {
+			continue
+		}
+		counts[d]++
+		if d > maxD {
+			maxD = d
+		}
+	}
+	var b strings.Builder
+	for d := 1; d <= maxD; d++ {
+		if counts[d] > 0 {
+			fmt.Fprintf(&b, "%d:%d ", d, counts[d])
+		}
+	}
+	if counts[-1] > 0 {
+		fmt.Fprintf(&b, "detached:%d", counts[-1])
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,241 @@
+// Package experiment contains the harness that regenerates every measured
+// figure of the paper's evaluation (Figures 2, 3, 6, 7, 8 and the headline
+// cost/delivery comparisons). Each figure has a Run function returning a
+// structured result and an Fprint function that renders the same rows or
+// series the paper reports. DESIGN.md §4 is the experiment index.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"fourbit/internal/collect"
+	"fourbit/internal/core"
+	"fourbit/internal/ctp"
+	"fourbit/internal/lqirouter"
+	"fourbit/internal/metrics"
+	"fourbit/internal/node"
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+	"fourbit/internal/topo"
+)
+
+// Protocol identifies a protocol/estimator variant under test. The CTP
+// variants differ only in the estimator features they enable — the design
+// space of the paper's Figure 6.
+type Protocol int
+
+// Protocols.
+const (
+	Proto4B           Protocol = iota // CTP + full four-bit estimator
+	ProtoCTP                          // CTP with the original broadcast estimator, 10-entry table
+	ProtoCTPUnidir                    // CTP + ack bit (unidirectional estimates)
+	ProtoCTPWhite                     // CTP + white/compare bits only
+	ProtoCTPUnlimited                 // CTP broadcast estimator, unrestricted table
+	ProtoMultiHopLQI                  // the MultiHopLQI baseline
+)
+
+// String names the variant as the paper does.
+func (p Protocol) String() string {
+	switch p {
+	case Proto4B:
+		return "4B"
+	case ProtoCTP:
+		return "CTP"
+	case ProtoCTPUnidir:
+		return "CTP+unidir"
+	case ProtoCTPWhite:
+		return "CTP+white"
+	case ProtoCTPUnlimited:
+		return "CTP-unlimited"
+	case ProtoMultiHopLQI:
+		return "MultiHopLQI"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// estConfig returns the estimator configuration for a CTP-family protocol.
+func estConfig(p Protocol) core.Config {
+	cfg := core.DefaultConfig()
+	switch p {
+	case Proto4B:
+		cfg.Features = core.FourBit()
+	case ProtoCTP:
+		cfg.Features = core.BroadcastOnly()
+	case ProtoCTPUnidir:
+		cfg.Features = core.Features{AckBit: true}
+	case ProtoCTPWhite:
+		cfg.Features = core.Features{WhiteCompare: true}
+	case ProtoCTPUnlimited:
+		cfg.Features = core.BroadcastOnly()
+		cfg.TableSize = 4096 // effectively unrestricted
+		cfg.FooterEntries = packet.MaxLinkEntries
+	default:
+		panic("experiment: not a CTP-family protocol: " + p.String())
+	}
+	return cfg
+}
+
+// RunConfig describes one collection run.
+type RunConfig struct {
+	Protocol    Protocol
+	Topo        *topo.Topology
+	Seed        uint64
+	TxPowerDBm  float64
+	Duration    sim.Time
+	Warmup      sim.Time // tree-depth sampling starts here
+	SampleEvery sim.Time
+	Workload    collect.Workload
+	// EnvMutate, if set, runs after the environment is built and before
+	// the network boots (scenario hooks install link modifiers here).
+	EnvMutate func(*node.Env)
+}
+
+// DefaultRunConfig returns the standard 25-minute Mirage-style run.
+func DefaultRunConfig(p Protocol, tp *topo.Topology, seed uint64) RunConfig {
+	return RunConfig{
+		Protocol:    p,
+		Topo:        tp,
+		Seed:        seed,
+		TxPowerDBm:  0,
+		Duration:    25 * sim.Minute,
+		Warmup:      5 * sim.Minute,
+		SampleEvery: time1Min,
+		Workload:    collect.DefaultWorkload(),
+	}
+}
+
+const time1Min = 1 * sim.Minute
+
+// Result is the measured outcome of one run.
+type Result struct {
+	Protocol   Protocol
+	TxPowerDBm float64
+	Duration   sim.Time
+
+	Generated     uint64
+	Unique        uint64
+	Duplicates    uint64
+	DeliveryRatio float64
+	// PerNodeDelivery holds per-origin delivery ratios (all nodes except
+	// the root), in address order — the Figure 8 distributions.
+	PerNodeDelivery []float64
+
+	DataTx   uint64
+	BeaconTx uint64
+	// Cost is the paper's primary metric: data transmissions in the whole
+	// network per unique packet delivered.
+	Cost float64
+
+	// MeanDepth is the tree depth averaged over nodes and over samples
+	// taken every SampleEvery after Warmup.
+	MeanDepth    float64
+	FinalDepths  []int
+	FinalParents []int
+	Detached     int
+	MeanHops     float64
+	Events       uint64
+
+	// Estimator-table dynamics summed across nodes (CTP family only).
+	EstInserted uint64
+	EstReplaced uint64
+	EstRejected uint64
+}
+
+// EnvConfigFor derives the channel parameterization for a testbed. The
+// TutorNet environment is harsher than Mirage's in exactly the dimensions
+// the paper attributes its larger gains to: stronger time-varying fading
+// (bursty marginal links) and wider per-node hardware variation
+// (persistent link asymmetries) — the conditions physical-layer-only
+// estimation cannot see (§2.1).
+func EnvConfigFor(tp *topo.Topology, seed uint64, txPowerDBm float64) node.EnvConfig {
+	cfg := node.DefaultEnvConfig(seed, txPowerDBm)
+	if strings.HasPrefix(tp.Name, "tutornet") {
+		cfg.Phy.FadeSigmaDB = 3.0
+		cfg.Phy.FadeTau = 18 * sim.Second
+		cfg.Phy.TxVarSigmaDB = 2.2
+		cfg.Phy.NoiseDriftSigmaDB = 1.4
+	}
+	return cfg
+}
+
+// Run executes one collection run and gathers its metrics.
+func Run(rc RunConfig) *Result {
+	env := node.NewEnv(rc.Topo, EnvConfigFor(rc.Topo, rc.Seed, rc.TxPowerDBm))
+	if rc.EnvMutate != nil {
+		rc.EnvMutate(env)
+	}
+
+	var parents func() []int
+	var dataTx, beaconTx func() uint64
+	var estStats func() (ins, rep, rej uint64)
+	var ledger *collect.Ledger
+
+	if rc.Protocol == ProtoMultiHopLQI {
+		net := node.BuildLQI(env, lqirouter.DefaultConfig(), rc.Workload)
+		parents, ledger = net.Parents, net.Ledger
+		dataTx, beaconTx = net.DataTransmissions, net.BeaconTransmissions
+	} else {
+		net := node.BuildCTP(env, ctp.DefaultConfig(), estConfig(rc.Protocol), rc.Workload)
+		parents, ledger = net.Parents, net.Ledger
+		dataTx, beaconTx = net.DataTransmissions, net.BeaconTransmissions
+		estStats = func() (ins, rep, rej uint64) {
+			for _, e := range net.Ests {
+				ins += e.Stats.Inserted
+				rep += e.Stats.Replaced
+				rej += e.Stats.RejectedFull
+			}
+			return
+		}
+	}
+
+	var depthSum float64
+	var depthSamples int
+	sampler := func() {
+		depths := metrics.TreeDepths(parents(), rc.Topo.Root)
+		mean, connected, _ := metrics.MeanDepth(depths, rc.Topo.Root)
+		if connected > 0 {
+			depthSum += mean
+			depthSamples++
+		}
+	}
+	env.Clock.Every(rc.Warmup, rc.SampleEvery, sampler)
+
+	env.Clock.RunUntil(rc.Duration)
+
+	res := &Result{
+		Protocol:   rc.Protocol,
+		TxPowerDBm: rc.TxPowerDBm,
+		Duration:   rc.Duration,
+		Generated:  ledger.Generated(),
+		Unique:     ledger.Unique(),
+		Duplicates: ledger.Duplicates(),
+		DataTx:     dataTx(),
+		BeaconTx:   beaconTx(),
+		MeanHops:   ledger.MeanHops(),
+		Events:     env.Clock.Events(),
+	}
+	res.DeliveryRatio = ledger.TotalDeliveryRatio()
+	for i := 0; i < rc.Topo.N(); i++ {
+		if i == rc.Topo.Root {
+			continue
+		}
+		res.PerNodeDelivery = append(res.PerNodeDelivery, ledger.DeliveryRatio(packet.Addr(i)))
+	}
+	if res.Unique > 0 {
+		res.Cost = float64(res.DataTx) / float64(res.Unique)
+	}
+	res.FinalParents = parents()
+	res.FinalDepths = metrics.TreeDepths(res.FinalParents, rc.Topo.Root)
+	if depthSamples > 0 {
+		res.MeanDepth = depthSum / float64(depthSamples)
+	} else {
+		res.MeanDepth, _, _ = metrics.MeanDepth(res.FinalDepths, rc.Topo.Root)
+	}
+	_, _, res.Detached = metrics.MeanDepth(res.FinalDepths, rc.Topo.Root)
+	if estStats != nil {
+		res.EstInserted, res.EstReplaced, res.EstRejected = estStats()
+	}
+	return res
+}

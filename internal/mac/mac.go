@@ -1,0 +1,246 @@
+// Package mac implements the link layer: an unslotted CSMA/CA transmit path
+// with clear-channel assessment and random backoff, plus synchronous
+// layer-2 acknowledgments — the mechanism behind the paper's ack bit.
+//
+// A MAC performs exactly one transmission attempt per Send; retransmission
+// policy belongs to the network layer (CTP retries up to 30 times,
+// MultiHopLQI up to 5), which also lets the network layer feed every
+// attempt's ack bit to the link estimator, as §3.3 requires.
+package mac
+
+import (
+	"errors"
+	"fmt"
+
+	"fourbit/internal/packet"
+	"fourbit/internal/phy"
+	"fourbit/internal/sim"
+)
+
+// Params configure CSMA/CA and acknowledgment timing. Defaults approximate
+// the TinyOS CC2420 stack.
+type Params struct {
+	InitialBackoffMin    sim.Time
+	InitialBackoffMax    sim.Time
+	CongestionBackoffMin sim.Time
+	CongestionBackoffMax sim.Time
+	MaxCCAAttempts       int      // give up (no transmission) after this many busy CCAs
+	AckTurnaround        sim.Time // rx/tx turnaround before the ack goes out
+	AckTimeout           sim.Time // ack wait measured from the end of the data frame
+}
+
+// DefaultParams returns CC2420-like CSMA and ack timing.
+func DefaultParams() Params {
+	return Params{
+		InitialBackoffMin:    320 * sim.Microsecond,
+		InitialBackoffMax:    4960 * sim.Microsecond,
+		CongestionBackoffMin: 320 * sim.Microsecond,
+		CongestionBackoffMax: 2560 * sim.Microsecond,
+		MaxCCAAttempts:       8,
+		AckTurnaround:        192 * sim.Microsecond,
+		AckTimeout:           1200 * sim.Microsecond,
+	}
+}
+
+// TxResult reports the outcome of one Send.
+type TxResult struct {
+	// Sent reports whether the frame actually went on air. False means
+	// CSMA gave up after MaxCCAAttempts busy assessments.
+	Sent bool
+	// Acked is the ack bit: a layer-2 acknowledgment was received for this
+	// transmission. Always false for broadcasts and for frames sent
+	// without AckRequest. Per the paper: if clear, the packet may or may
+	// not have arrived.
+	Acked bool
+	// CCAAttempts counts clear-channel assessments used (>= 1 if Sent).
+	CCAAttempts int
+}
+
+// Stats counts per-node link-layer activity. TxData is the basis of the
+// paper's cost metric (transmissions per delivered packet).
+type Stats struct {
+	TxData      uint64 // unicast data transmissions put on air
+	TxBeacons   uint64 // broadcast transmissions put on air
+	TxAcks      uint64
+	RxData      uint64
+	RxBeacons   uint64
+	RxAcks      uint64
+	AckTimeouts uint64
+	CCAFailures uint64 // Sends abandoned with the channel busy
+	DecodeErr   uint64
+}
+
+// ErrBusy is returned by Send when a transmission is already in flight.
+var ErrBusy = errors.New("mac: transmission in progress")
+
+// Receiver is the upper-layer frame sink. Frames addressed to this node or
+// broadcast are delivered with their physical-layer metadata (including the
+// white bit).
+type Receiver func(f *packet.Frame, info phy.RxInfo)
+
+// MAC is one node's link layer.
+type MAC struct {
+	clock *sim.Simulator
+	radio *phy.Radio
+	addr  packet.Addr
+	p     Params
+	rng   *sim.Rand
+	recv  Receiver
+
+	dsn uint8
+	cur *txOp
+
+	Stats Stats
+}
+
+type txOp struct {
+	frame    *packet.Frame
+	encoded  []byte
+	done     func(TxResult)
+	attempts int
+	awaitAck bool
+	ackTimer *sim.Timer
+	timer    *sim.Timer
+}
+
+// New builds a MAC bound to a radio. rng drives backoff draws.
+func New(clock *sim.Simulator, radio *phy.Radio, addr packet.Addr, p Params, rng *sim.Rand) *MAC {
+	m := &MAC{clock: clock, radio: radio, addr: addr, p: p, rng: rng}
+	radio.OnReceive(m.onRadioReceive)
+	return m
+}
+
+// Addr returns this node's link-layer address.
+func (m *MAC) Addr() packet.Addr { return m.addr }
+
+// OnReceive installs the upper-layer frame sink.
+func (m *MAC) OnReceive(r Receiver) { m.recv = r }
+
+// Busy reports whether a Send is in flight.
+func (m *MAC) Busy() bool { return m.cur != nil }
+
+// Send transmits f (one CSMA attempt; no retransmission). The frame's Seq
+// is assigned by the MAC. done, if non-nil, is invoked exactly once with
+// the outcome; it may immediately issue the next Send.
+func (m *MAC) Send(f *packet.Frame, done func(TxResult)) error {
+	if m.cur != nil {
+		return ErrBusy
+	}
+	if f.Src != m.addr {
+		panic(fmt.Sprintf("mac %v: sending frame with Src %v", m.addr, f.Src))
+	}
+	if f.Dst == m.addr {
+		panic(fmt.Sprintf("mac %v: sending frame to self", m.addr))
+	}
+	m.dsn++
+	f.Seq = m.dsn
+	enc, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	op := &txOp{
+		frame:    f,
+		encoded:  enc,
+		done:     done,
+		awaitAck: f.AckRequest && f.Dst != packet.Broadcast,
+	}
+	m.cur = op
+	op.timer = m.clock.After(m.rng.UniformTime(m.p.InitialBackoffMin, m.p.InitialBackoffMax),
+		func() { m.tryCCA(op) })
+	return nil
+}
+
+func (m *MAC) tryCCA(op *txOp) {
+	op.attempts++
+	if !m.radio.ChannelClear() {
+		if op.attempts >= m.p.MaxCCAAttempts {
+			m.Stats.CCAFailures++
+			m.finish(op, TxResult{Sent: false, CCAAttempts: op.attempts})
+			return
+		}
+		op.timer = m.clock.After(m.rng.UniformTime(m.p.CongestionBackoffMin, m.p.CongestionBackoffMax),
+			func() { m.tryCCA(op) })
+		return
+	}
+	air := m.radio.Transmit(op.encoded)
+	if op.frame.Dst == packet.Broadcast {
+		m.Stats.TxBeacons++
+	} else {
+		m.Stats.TxData++
+	}
+	op.timer = m.clock.After(air, func() { m.onTxDone(op) })
+}
+
+func (m *MAC) onTxDone(op *txOp) {
+	if !op.awaitAck {
+		m.finish(op, TxResult{Sent: true, CCAAttempts: op.attempts})
+		return
+	}
+	op.ackTimer = m.clock.After(m.p.AckTimeout, func() {
+		m.Stats.AckTimeouts++
+		m.finish(op, TxResult{Sent: true, Acked: false, CCAAttempts: op.attempts})
+	})
+}
+
+func (m *MAC) finish(op *txOp, res TxResult) {
+	if m.cur != op {
+		return
+	}
+	m.cur = nil
+	if op.ackTimer != nil {
+		op.ackTimer.Cancel()
+	}
+	if op.done != nil {
+		op.done(res)
+	}
+}
+
+func (m *MAC) onRadioReceive(data []byte, info phy.RxInfo) {
+	f, err := packet.DecodeFrame(data)
+	if err != nil {
+		m.Stats.DecodeErr++
+		return
+	}
+	switch {
+	case f.Type == packet.TypeAck:
+		if f.Dst != m.addr {
+			return
+		}
+		m.Stats.RxAcks++
+		op := m.cur
+		if op != nil && op.awaitAck && op.ackTimer != nil && op.ackTimer.Active() &&
+			f.Seq == op.frame.Seq && f.Src == op.frame.Dst {
+			m.finish(op, TxResult{Sent: true, Acked: true, CCAAttempts: op.attempts})
+		}
+	case f.Dst == m.addr || f.Dst == packet.Broadcast:
+		if f.Dst == m.addr {
+			m.Stats.RxData++
+			if f.AckRequest {
+				m.sendAck(f)
+			}
+		} else {
+			m.Stats.RxBeacons++
+		}
+		if m.recv != nil {
+			m.recv(f, info)
+		}
+	}
+}
+
+// sendAck emits the synchronous L2 acknowledgment after the rx/tx
+// turnaround. Hardware acks preempt whatever the transmit path is doing
+// short of an actual transmission in progress.
+func (m *MAC) sendAck(of *packet.Frame) {
+	ack := packet.NewAck(of, m.addr)
+	enc, err := ack.Encode()
+	if err != nil {
+		panic("mac: ack encode failed: " + err.Error())
+	}
+	m.clock.After(m.p.AckTurnaround, func() {
+		if m.radio.Transmitting() {
+			return // tx collision with our own frame; ack is lost
+		}
+		m.radio.Transmit(enc)
+		m.Stats.TxAcks++
+	})
+}

@@ -1,0 +1,225 @@
+// Package node assembles full protocol stacks — radio, MAC, link estimator,
+// routing, collection application — for every node of a topology, and is
+// the only place where the layers are wired together (the narrow-interface
+// discipline the paper argues for: each layer sees only its bits).
+package node
+
+import (
+	"fmt"
+
+	"fourbit/internal/collect"
+	"fourbit/internal/core"
+	"fourbit/internal/ctp"
+	"fourbit/internal/lqirouter"
+	"fourbit/internal/mac"
+	"fourbit/internal/packet"
+	"fourbit/internal/phy"
+	"fourbit/internal/sim"
+	"fourbit/internal/topo"
+)
+
+// EnvConfig configures the shared simulation environment.
+type EnvConfig struct {
+	Seed       uint64
+	TxPowerDBm float64
+	Phy        phy.Params
+	Radio      phy.RadioParams
+	LQI        phy.LQIParams
+	MAC        mac.Params
+}
+
+// DefaultEnvConfig returns the standard environment at the given power.
+func DefaultEnvConfig(seed uint64, txPowerDBm float64) EnvConfig {
+	return EnvConfig{
+		Seed:       seed,
+		TxPowerDBm: txPowerDBm,
+		Phy:        phy.DefaultParams(),
+		Radio:      phy.DefaultRadioParams(),
+		LQI:        phy.DefaultLQIParams(),
+		MAC:        mac.DefaultParams(),
+	}
+}
+
+// Env is the shared simulation substrate: clock, channel, medium.
+type Env struct {
+	Clock  *sim.Simulator
+	Seeds  *sim.SeedSpace
+	Topo   *topo.Topology
+	Chan   *phy.Channel
+	Medium *phy.Medium
+	Cfg    EnvConfig
+}
+
+// NewEnv builds the environment over a topology.
+func NewEnv(t *topo.Topology, cfg EnvConfig) *Env {
+	clock := sim.New(cfg.Seed)
+	seeds := sim.NewSeedSpace(cfg.Seed)
+	dist, extra := t.Matrices()
+	ch := phy.NewChannel(dist, extra, cfg.Phy, seeds)
+	med := phy.NewMedium(clock, ch, cfg.Radio, cfg.LQI, seeds)
+	for i := 0; i < med.N(); i++ {
+		med.Radio(i).SetTxPower(cfg.TxPowerDBm)
+	}
+	return &Env{Clock: clock, Seeds: seeds, Topo: t, Chan: ch, Medium: med, Cfg: cfg}
+}
+
+// CTPNetwork is a booted network of CTP nodes plus its workload and ledger.
+type CTPNetwork struct {
+	Env     *Env
+	Nodes   []*ctp.Node
+	MACs    []*mac.MAC
+	Ests    []*core.Estimator
+	Sources []*collect.Source
+	Ledger  *collect.Ledger
+}
+
+// BuildCTP assembles one CTP node per topology position (the topology root
+// becomes the collection root), boots them staggered over the workload's
+// boot window, and starts the traffic sources.
+func BuildCTP(env *Env, ctpCfg ctp.Config, estCfg core.Config, wl collect.Workload) *CTPNetwork {
+	n := env.Topo.N()
+	net := &CTPNetwork{Env: env, Ledger: collect.NewLedger()}
+	for i := 0; i < n; i++ {
+		addr := packet.Addr(i)
+		m := mac.New(env.Clock, env.Medium.Radio(i), addr, env.Cfg.MAC,
+			env.Seeds.Stream(fmt.Sprintf("mac/%d", i)))
+		est := core.New(addr, estCfg, nil, env.Seeds.Stream(fmt.Sprintf("est/%d", i)))
+		cn := ctp.New(env.Clock, m, est, i == env.Topo.Root, ctpCfg,
+			env.Seeds.Stream(fmt.Sprintf("ctp/%d", i)))
+		net.Nodes = append(net.Nodes, cn)
+		net.MACs = append(net.MACs, m)
+		net.Ests = append(net.Ests, est)
+	}
+	root := net.Nodes[env.Topo.Root]
+	root.OnDeliver(func(origin packet.Addr, _ uint8, thl uint8, data []byte) {
+		if seq, err := collect.DecodeReading(data); err == nil {
+			net.Ledger.NoteDelivered(origin, seq, thl)
+		}
+	})
+	bootRng := env.Seeds.Stream("boot")
+	for i := 0; i < n; i++ {
+		i := i
+		boot := bootRng.UniformTime(0, wl.BootWindow)
+		env.Clock.At(boot, net.Nodes[i].Start)
+		if i == env.Topo.Root {
+			continue
+		}
+		src := collect.NewSource(env.Clock, packet.Addr(i), wl,
+			env.Seeds.Stream(fmt.Sprintf("src/%d", i)),
+			net.Nodes[i].Send, net.Ledger)
+		src.Start(boot)
+		net.Sources = append(net.Sources, src)
+	}
+	return net
+}
+
+// Parents returns the current parent index per node (-1 when routeless),
+// ready for metrics.TreeDepths.
+func (net *CTPNetwork) Parents() []int {
+	out := make([]int, len(net.Nodes))
+	for i, nd := range net.Nodes {
+		p := nd.Parent()
+		if i == net.Env.Topo.Root || p == packet.None {
+			out[i] = -1
+			continue
+		}
+		out[i] = int(p)
+	}
+	return out
+}
+
+// DataTransmissions sums unicast data transmissions across all MACs — the
+// numerator of the paper's cost metric.
+func (net *CTPNetwork) DataTransmissions() uint64 {
+	var sum uint64
+	for _, m := range net.MACs {
+		sum += m.Stats.TxData
+	}
+	return sum
+}
+
+// BeaconTransmissions sums broadcast transmissions across all MACs.
+func (net *CTPNetwork) BeaconTransmissions() uint64 {
+	var sum uint64
+	for _, m := range net.MACs {
+		sum += m.Stats.TxBeacons
+	}
+	return sum
+}
+
+// LQINetwork is a booted network of MultiHopLQI nodes.
+type LQINetwork struct {
+	Env     *Env
+	Nodes   []*lqirouter.Node
+	MACs    []*mac.MAC
+	Sources []*collect.Source
+	Ledger  *collect.Ledger
+}
+
+// BuildLQI assembles a MultiHopLQI network, mirroring BuildCTP.
+func BuildLQI(env *Env, cfg lqirouter.Config, wl collect.Workload) *LQINetwork {
+	n := env.Topo.N()
+	net := &LQINetwork{Env: env, Ledger: collect.NewLedger()}
+	for i := 0; i < n; i++ {
+		addr := packet.Addr(i)
+		m := mac.New(env.Clock, env.Medium.Radio(i), addr, env.Cfg.MAC,
+			env.Seeds.Stream(fmt.Sprintf("mac/%d", i)))
+		ln := lqirouter.New(env.Clock, m, i == env.Topo.Root, cfg,
+			env.Seeds.Stream(fmt.Sprintf("lqi/%d", i)))
+		net.Nodes = append(net.Nodes, ln)
+		net.MACs = append(net.MACs, m)
+	}
+	root := net.Nodes[env.Topo.Root]
+	root.OnDeliver(func(origin packet.Addr, _ uint16, hops uint8, data []byte) {
+		if seq, err := collect.DecodeReading(data); err == nil {
+			net.Ledger.NoteDelivered(origin, seq, hops)
+		}
+	})
+	bootRng := env.Seeds.Stream("boot")
+	for i := 0; i < n; i++ {
+		i := i
+		boot := bootRng.UniformTime(0, wl.BootWindow)
+		env.Clock.At(boot, net.Nodes[i].Start)
+		if i == env.Topo.Root {
+			continue
+		}
+		src := collect.NewSource(env.Clock, packet.Addr(i), wl,
+			env.Seeds.Stream(fmt.Sprintf("src/%d", i)),
+			net.Nodes[i].Send, net.Ledger)
+		src.Start(boot)
+		net.Sources = append(net.Sources, src)
+	}
+	return net
+}
+
+// Parents returns the current parent index per node (-1 when routeless).
+func (net *LQINetwork) Parents() []int {
+	out := make([]int, len(net.Nodes))
+	for i, nd := range net.Nodes {
+		p := nd.Parent()
+		if i == net.Env.Topo.Root || p == packet.None {
+			out[i] = -1
+			continue
+		}
+		out[i] = int(p)
+	}
+	return out
+}
+
+// DataTransmissions sums unicast data transmissions across all MACs.
+func (net *LQINetwork) DataTransmissions() uint64 {
+	var sum uint64
+	for _, m := range net.MACs {
+		sum += m.Stats.TxData
+	}
+	return sum
+}
+
+// BeaconTransmissions sums broadcast transmissions across all MACs.
+func (net *LQINetwork) BeaconTransmissions() uint64 {
+	var sum uint64
+	for _, m := range net.MACs {
+		sum += m.Stats.TxBeacons
+	}
+	return sum
+}

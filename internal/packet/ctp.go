@@ -1,0 +1,92 @@
+package packet
+
+import "encoding/binary"
+
+// CTP frame options (shared by data and routing frames, per TEP 123).
+const (
+	CTPOptPull      = 1 << 0 // P: sender requests routing information
+	CTPOptCongested = 1 << 1 // C: sender's forwarding queue is filling
+)
+
+// CTPData is the CTP data-frame header plus application payload.
+type CTPData struct {
+	Options   uint8
+	THL       uint8  // time-has-lived, incremented per hop (loop damping)
+	ETX       uint16 // sender's path cost in 1/10 ETX units (loop detection)
+	Origin    Addr
+	OriginSeq uint8
+	CollectID uint8 // collection service instance
+	Data      []byte
+}
+
+const ctpDataHeaderLen = 8
+
+// EncodedLen returns the serialized size.
+func (d *CTPData) EncodedLen() int { return ctpDataHeaderLen + len(d.Data) }
+
+// Encode serializes the CTP data header and payload.
+func (d *CTPData) Encode() ([]byte, error) {
+	if d.EncodedLen() > MaxPayload {
+		return nil, ErrTooLong
+	}
+	buf := make([]byte, d.EncodedLen())
+	buf[0] = d.Options
+	buf[1] = d.THL
+	binary.BigEndian.PutUint16(buf[2:], d.ETX)
+	binary.BigEndian.PutUint16(buf[4:], uint16(d.Origin))
+	buf[6] = d.OriginSeq
+	buf[7] = d.CollectID
+	copy(buf[ctpDataHeaderLen:], d.Data)
+	return buf, nil
+}
+
+// DecodeCTPData parses a CTP data frame payload.
+func DecodeCTPData(data []byte) (*CTPData, error) {
+	if len(data) < ctpDataHeaderLen {
+		return nil, ErrShortHeader
+	}
+	d := &CTPData{
+		Options:   data[0],
+		THL:       data[1],
+		ETX:       binary.BigEndian.Uint16(data[2:]),
+		Origin:    Addr(binary.BigEndian.Uint16(data[4:])),
+		OriginSeq: data[6],
+		CollectID: data[7],
+	}
+	if rest := data[ctpDataHeaderLen:]; len(rest) > 0 {
+		d.Data = make([]byte, len(rest))
+		copy(d.Data, rest)
+	}
+	return d, nil
+}
+
+// CTPBeacon is the CTP routing frame: the sender advertises its current
+// parent and path cost. It travels inside the LE envelope.
+type CTPBeacon struct {
+	Options uint8
+	Parent  Addr
+	ETX     uint16 // path cost in 1/10 ETX units
+}
+
+const ctpBeaconLen = 5
+
+// Encode serializes the routing frame.
+func (b *CTPBeacon) Encode() ([]byte, error) {
+	buf := make([]byte, ctpBeaconLen)
+	buf[0] = b.Options
+	binary.BigEndian.PutUint16(buf[1:], uint16(b.Parent))
+	binary.BigEndian.PutUint16(buf[3:], b.ETX)
+	return buf, nil
+}
+
+// DecodeCTPBeacon parses a routing frame.
+func DecodeCTPBeacon(data []byte) (*CTPBeacon, error) {
+	if len(data) < ctpBeaconLen {
+		return nil, ErrShortHeader
+	}
+	return &CTPBeacon{
+		Options: data[0],
+		Parent:  Addr(binary.BigEndian.Uint16(data[1:])),
+		ETX:     binary.BigEndian.Uint16(data[3:]),
+	}, nil
+}

@@ -1,0 +1,84 @@
+package packet
+
+import "encoding/binary"
+
+// LEFrame is the link-estimation layer (layer 2.5) envelope the 4B
+// estimator wraps around network-layer broadcasts, exactly as §3.3
+// describes: a header carrying the beacon sequence number (receivers use
+// the gaps to measure beacon reception rate) and a footer of link
+// information entries; the network layer's own payload rides in between.
+type LEFrame struct {
+	Seq        uint16      // estimator beacon sequence number
+	Entries    []LinkEntry // footer: a subset of the sender's link table
+	NetPayload []byte      // the network layer's beacon
+}
+
+// LinkEntry advertises the sender's inbound reception quality from a
+// neighbor, quantized to 1/255 units. The original broadcast-ETX estimator
+// needs these to form bidirectional estimates; 4B sends them too but only
+// uses them for bootstrapping.
+type LinkEntry struct {
+	Addr      Addr
+	InQuality uint8 // PRR * 255
+}
+
+// LE layout: Seq(2) NumEntries(1) NetLen(1) | net payload | entries(3 each).
+const (
+	leHeaderLen  = 4
+	linkEntryLen = 3
+	// MaxLinkEntries bounds the footer so beacons fit the 802.15.4 PSDU.
+	MaxLinkEntries = 15
+)
+
+// EncodedLen returns the serialized size.
+func (l *LEFrame) EncodedLen() int {
+	return leHeaderLen + len(l.NetPayload) + len(l.Entries)*linkEntryLen
+}
+
+// Encode serializes the LE envelope.
+func (l *LEFrame) Encode() ([]byte, error) {
+	if len(l.Entries) > MaxLinkEntries {
+		return nil, ErrTooLong
+	}
+	if len(l.NetPayload) > 255 {
+		return nil, ErrTooLong
+	}
+	buf := make([]byte, l.EncodedLen())
+	binary.BigEndian.PutUint16(buf[0:], l.Seq)
+	buf[2] = byte(len(l.Entries))
+	buf[3] = byte(len(l.NetPayload))
+	copy(buf[leHeaderLen:], l.NetPayload)
+	off := leHeaderLen + len(l.NetPayload)
+	for _, e := range l.Entries {
+		binary.BigEndian.PutUint16(buf[off:], uint16(e.Addr))
+		buf[off+2] = e.InQuality
+		off += linkEntryLen
+	}
+	return buf, nil
+}
+
+// DecodeLEFrame parses an LE envelope.
+func DecodeLEFrame(data []byte) (*LEFrame, error) {
+	if len(data) < leHeaderLen {
+		return nil, ErrShortHeader
+	}
+	l := &LEFrame{Seq: binary.BigEndian.Uint16(data[0:])}
+	n := int(data[2])
+	netLen := int(data[3])
+	if len(data) != leHeaderLen+netLen+n*linkEntryLen {
+		return nil, ErrBadLength
+	}
+	if netLen > 0 {
+		l.NetPayload = make([]byte, netLen)
+		copy(l.NetPayload, data[leHeaderLen:leHeaderLen+netLen])
+	}
+	off := leHeaderLen + netLen
+	for i := 0; i < n; i++ {
+		l.Entries = append(l.Entries, LinkEntry{
+			Addr:      Addr(binary.BigEndian.Uint16(data[off:])),
+			InQuality: data[off+2],
+		})
+		off += linkEntryLen
+	}
+	return l, nil
+}

@@ -1,0 +1,168 @@
+// Package packet defines the wire formats used by every layer of the stack:
+// the 802.15.4-style MAC frame, the link-estimation (layer 2.5) header and
+// footer, CTP's data and routing frames, and MultiHopLQI's beacon and data
+// frames. All frames have explicit binary encodings (big endian) with a
+// CRC-16/CCITT trailer, and every format round-trips through
+// Encode/Decode — the frames really do cross the simulated air as bytes.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Addr is a link-layer node address.
+type Addr uint16
+
+// Broadcast is the all-nodes destination address.
+const Broadcast Addr = 0xFFFF
+
+// None is the distinguished "no address" value (e.g. no parent selected).
+const None Addr = 0xFFFE
+
+// String formats an address, with the two sentinels named.
+func (a Addr) String() string {
+	switch a {
+	case Broadcast:
+		return "bcast"
+	case None:
+		return "none"
+	default:
+		return fmt.Sprintf("%d", uint16(a))
+	}
+}
+
+// FrameType discriminates MAC frames.
+type FrameType uint8
+
+// Frame types.
+const (
+	TypeData   FrameType = 1 // unicast network-layer data
+	TypeAck    FrameType = 2 // link-layer acknowledgment
+	TypeBeacon FrameType = 3 // broadcast routing/estimation beacon
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case TypeData:
+		return "data"
+	case TypeAck:
+		return "ack"
+	case TypeBeacon:
+		return "beacon"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Frame header flag bits.
+const (
+	flagAckRequest = 1 << 0
+)
+
+// Frame is the MAC-layer frame.
+type Frame struct {
+	Type       FrameType
+	AckRequest bool
+	Seq        uint8 // link-layer sequence number, matches acks to data
+	Src, Dst   Addr
+	Payload    []byte
+}
+
+// Frame layout: Type(1) Flags(1) Seq(1) Src(2) Dst(2) PayloadLen(2) | payload | CRC(2).
+const (
+	FrameHeaderLen  = 9
+	FrameTrailerLen = 2
+	// MaxPayload keeps frames within the 127-byte 802.15.4 PSDU.
+	MaxPayload = 116
+	// AckFrameLen is the encoded size of an acknowledgment frame.
+	AckFrameLen = FrameHeaderLen + FrameTrailerLen
+)
+
+// Errors returned by decoders.
+var (
+	ErrShortFrame  = errors.New("packet: frame too short")
+	ErrBadCRC      = errors.New("packet: CRC mismatch")
+	ErrBadLength   = errors.New("packet: length field inconsistent")
+	ErrBadType     = errors.New("packet: unknown frame type")
+	ErrTooLong     = errors.New("packet: payload exceeds maximum")
+	ErrShortHeader = errors.New("packet: payload header truncated")
+)
+
+// EncodedLen returns the on-air byte count of the frame.
+func (f *Frame) EncodedLen() int { return FrameHeaderLen + len(f.Payload) + FrameTrailerLen }
+
+// Encode serializes the frame, appending a CRC-16 over header and payload.
+func (f *Frame) Encode() ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLong, len(f.Payload))
+	}
+	buf := make([]byte, f.EncodedLen())
+	buf[0] = byte(f.Type)
+	if f.AckRequest {
+		buf[1] |= flagAckRequest
+	}
+	buf[2] = f.Seq
+	binary.BigEndian.PutUint16(buf[3:], uint16(f.Src))
+	binary.BigEndian.PutUint16(buf[5:], uint16(f.Dst))
+	binary.BigEndian.PutUint16(buf[7:], uint16(len(f.Payload)))
+	copy(buf[FrameHeaderLen:], f.Payload)
+	crc := CRC16(buf[:len(buf)-FrameTrailerLen])
+	binary.BigEndian.PutUint16(buf[len(buf)-FrameTrailerLen:], crc)
+	return buf, nil
+}
+
+// DecodeFrame parses and validates an encoded frame.
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < FrameHeaderLen+FrameTrailerLen {
+		return nil, ErrShortFrame
+	}
+	wantCRC := binary.BigEndian.Uint16(data[len(data)-FrameTrailerLen:])
+	if CRC16(data[:len(data)-FrameTrailerLen]) != wantCRC {
+		return nil, ErrBadCRC
+	}
+	f := &Frame{
+		Type:       FrameType(data[0]),
+		AckRequest: data[1]&flagAckRequest != 0,
+		Seq:        data[2],
+		Src:        Addr(binary.BigEndian.Uint16(data[3:])),
+		Dst:        Addr(binary.BigEndian.Uint16(data[5:])),
+	}
+	switch f.Type {
+	case TypeData, TypeAck, TypeBeacon:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, data[0])
+	}
+	plen := int(binary.BigEndian.Uint16(data[7:]))
+	if FrameHeaderLen+plen+FrameTrailerLen != len(data) {
+		return nil, fmt.Errorf("%w: header says %d, frame holds %d",
+			ErrBadLength, plen, len(data)-FrameHeaderLen-FrameTrailerLen)
+	}
+	if plen > 0 {
+		f.Payload = make([]byte, plen)
+		copy(f.Payload, data[FrameHeaderLen:FrameHeaderLen+plen])
+	}
+	return f, nil
+}
+
+// NewAck builds the acknowledgment frame for a received frame.
+func NewAck(of *Frame, acker Addr) *Frame {
+	return &Frame{Type: TypeAck, Seq: of.Seq, Src: acker, Dst: of.Src}
+}
+
+// CRC16 computes CRC-16/CCITT (polynomial 0x1021, init 0xFFFF) over data.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

@@ -1,0 +1,134 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBERMonotoneDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for snr := -10.0; snr <= 15; snr += 0.25 {
+		b := BER(snr)
+		if b > prev+1e-15 {
+			t.Fatalf("BER not monotone: BER(%.2f)=%g > previous %g", snr, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBERBounds(t *testing.T) {
+	f := func(snr float64) bool {
+		snr = math.Mod(snr, 60) // keep finite, wide range
+		b := BER(snr)
+		return b >= 0 && b <= 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBERWaterfallRegion(t *testing.T) {
+	// The 802.15.4 analytic curve transitions from unusable to near-perfect
+	// within a few dB; this narrow grey region is the modeling target.
+	if b := BER(-6); b < 1e-2 {
+		t.Errorf("BER(-6 dB) = %g, want > 1e-2 (unusable)", b)
+	}
+	if b := BER(3); b > 1e-6 {
+		t.Errorf("BER(3 dB) = %g, want < 1e-6 (clean)", b)
+	}
+}
+
+func TestPRRMonotoneInSNR(t *testing.T) {
+	prev := 0.0
+	for snr := -10.0; snr <= 10; snr += 0.5 {
+		p := PRR(snr, 40)
+		if p < prev-1e-12 {
+			t.Fatalf("PRR not monotone at %.1f dB: %g < %g", snr, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPRRMonotoneInLength(t *testing.T) {
+	// Longer frames can only do worse at fixed SNR.
+	for _, snr := range []float64{-2, 0, 2} {
+		prev := 1.0
+		for _, n := range []int{10, 20, 40, 80, 127} {
+			p := PRR(snr, n)
+			if p > prev+1e-12 {
+				t.Fatalf("PRR(%v dB, %d B) = %g > PRR of shorter frame %g", snr, n, p, prev)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPRRBounds(t *testing.T) {
+	f := func(snr float64, n int) bool {
+		snr = math.Mod(snr, 40)
+		if n < 0 {
+			n = -n
+		}
+		n = n%127 + 1
+		p := PRR(snr, n)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRRExtremes(t *testing.T) {
+	if p := PRR(20, 127); p < 0.9999 {
+		t.Errorf("PRR(20 dB) = %g, want ~1", p)
+	}
+	if p := PRR(-15, 40); p > 1e-6 {
+		t.Errorf("PRR(-15 dB) = %g, want ~0", p)
+	}
+	if p := PRR(5, 0); p != 1 {
+		t.Errorf("PRR of empty frame = %g, want 1", p)
+	}
+}
+
+func TestSNRForPRRInverts(t *testing.T) {
+	for _, target := range []float64{0.1, 0.5, 0.9, 0.99} {
+		snr := SNRForPRR(target, 40)
+		got := PRR(snr, 40)
+		if math.Abs(got-target) > 0.01 {
+			t.Errorf("PRR(SNRForPRR(%.2f)) = %.4f", target, got)
+		}
+	}
+}
+
+func TestSNRForPRRExtremes(t *testing.T) {
+	if SNRForPRR(0, 40) != -20 {
+		t.Error("SNRForPRR(0) should clamp low")
+	}
+	if SNRForPRR(1, 40) != 20 {
+		t.Error("SNRForPRR(1) should clamp high")
+	}
+}
+
+func TestUnitConversionsRoundTrip(t *testing.T) {
+	f := func(dbm float64) bool {
+		dbm = math.Mod(dbm, 150)
+		back := MilliwattsToDBm(DBmToMilliwatts(dbm))
+		return math.Abs(back-dbm) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(MilliwattsToDBm(0), -1) {
+		t.Error("0 mW should be -inf dBm")
+	}
+	if !math.IsInf(LinearToDB(0), -1) {
+		t.Error("0 linear should be -inf dB")
+	}
+}
+
+func BenchmarkPRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PRR(float64(i%12)-6, 40)
+	}
+}

@@ -1,0 +1,223 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"fourbit/internal/sim"
+)
+
+// Params configures the channel model. The defaults approximate an indoor
+// office deployment of CC2420-class radios, with per-node hardware variation
+// as characterized by Zuniga & Krishnamachari (ToSN'07) — the source the
+// paper cites for link unreliability and asymmetry.
+type Params struct {
+	// Path loss: PL(d) = PathLossRefDB + 10·Exponent·log10(d/1m).
+	PathLossRefDB    float64
+	PathLossExponent float64
+	// Lognormal shadowing, sampled once per unordered node pair (the static
+	// environment is symmetric; asymmetry comes from hardware variation).
+	ShadowSigmaDB float64
+	// Per-node transmit power offset and receiver noise-figure offset
+	// (hardware variation ⇒ persistent link asymmetry).
+	TxVarSigmaDB    float64
+	NoiseFigSigmaDB float64
+	// Thermal noise floor and its slow per-node drift (interference from
+	// the 2.4 GHz band, temperature, ...).
+	NoiseFloorDBm     float64
+	NoiseDriftSigmaDB float64
+	NoiseDriftTau     sim.Time
+	// Per-link time-varying fading. Combined with the steep 802.15.4 PRR
+	// waterfall this makes marginal links bursty/bimodal while leaving
+	// high-margin links untouched.
+	FadeSigmaDB float64
+	FadeTau     sim.Time
+	// Receiver-side noise bursts: external 2.4 GHz interference (WiFi,
+	// microwave ovens) periodically raises one receiver's noise floor by
+	// NoiseBurstAmpDB for ~NoiseBurstMeanOn at a time. Packets received
+	// outside bursts carry full LQI, so the resulting loss is invisible to
+	// physical-layer metrics — but the ack bit sees it, and a 4B node can
+	// route around the deaf receiver.
+	NoiseBurstAmpDB   float64
+	NoiseBurstMeanOn  sim.Time
+	NoiseBurstMeanOff sim.Time
+	// PacketJitterSigmaDB is fast per-packet channel variation (multipath
+	// inter-symbol interference, co-channel noise) applied independently
+	// to each frame's effective SNR. With the steep 802.15.4 waterfall it
+	// is what produces the wide band of intermediate-quality links real
+	// testbeds show — and the LQI optimism bias: packets that survive a
+	// low draw are rare, so received packets systematically report better
+	// channel quality than the link average.
+	PacketJitterSigmaDB float64
+}
+
+// DefaultParams returns the indoor-office parameterization used by the
+// Mirage-style experiments. The reference loss is calibrated so hop depths
+// match the paper's testbeds: at 0 dBm the reliable range is ~40 m (1–2 hop
+// networks on a 48×28 m floor), shrinking to ~9 m at −20 dBm (4+ hops) —
+// the depth progression of the paper's Figure 7.
+func DefaultParams() Params {
+	return Params{
+		PathLossRefDB:       47,
+		PathLossExponent:    3.0,
+		ShadowSigmaDB:       3.2,
+		TxVarSigmaDB:        2.0,
+		NoiseFigSigmaDB:     0.9,
+		NoiseFloorDBm:       -98,
+		NoiseDriftSigmaDB:   0.8,
+		NoiseDriftTau:       5 * sim.Minute,
+		FadeSigmaDB:         2.0,
+		FadeTau:             25 * sim.Second,
+		NoiseBurstAmpDB:     10,
+		NoiseBurstMeanOn:    300 * sim.Millisecond,
+		NoiseBurstMeanOff:   12 * sim.Second,
+		PacketJitterSigmaDB: 2.5,
+	}
+}
+
+// LinkModifier adds scripted, time-varying extra loss to a directed link.
+// Scenario builders install modifiers (e.g. a GilbertElliott process) to
+// force specific link dynamics, such as the degrading parent link in the
+// paper's Figure 3.
+type LinkModifier interface {
+	ExtraLossDB(t sim.Time) float64
+}
+
+// Channel holds the directed link-gain model between n nodes and the
+// per-node noise processes. It is built once from inter-node distances (and
+// optional extra static attenuation, e.g. floors/walls from the topology)
+// and then queried per packet.
+type Channel struct {
+	p Params
+	n int
+
+	staticGainDB []float64         // n*n: path loss + shadowing + tx offset, tx→rx
+	noiseFigDB   []float64         // per node
+	noiseDrift   []ouState         // per node
+	fade         []ouState         // per directed link (symmetric fading: see below)
+	bursts       []*GilbertElliott // per-node noise bursts (nil if disabled)
+	modifiers    []LinkModifier
+
+	noiseRng *sim.Rand
+	fadeRng  *sim.Rand
+}
+
+// NewChannel builds the channel for nodes separated by dist (meters,
+// dist[i][j] == dist[j][i]) with optional extraLossDB (static obstruction
+// loss per unordered pair; nil means none). Random draws come from streams
+// of rng so that two channels built from the same seeds are identical.
+func NewChannel(dist [][]float64, extraLossDB [][]float64, p Params, seeds *sim.SeedSpace) *Channel {
+	n := len(dist)
+	c := &Channel{
+		p:            p,
+		n:            n,
+		staticGainDB: make([]float64, n*n),
+		noiseFigDB:   make([]float64, n),
+		noiseDrift:   make([]ouState, n),
+		fade:         make([]ouState, n*n),
+		modifiers:    make([]LinkModifier, n*n),
+		noiseRng:     seeds.Stream("phy/noise"),
+		fadeRng:      seeds.Stream("phy/fade"),
+	}
+	static := seeds.Stream("phy/static")
+	txOff := make([]float64, n)
+	for i := 0; i < n; i++ {
+		txOff[i] = static.Normal(0, p.TxVarSigmaDB)
+		c.noiseFigDB[i] = static.Normal(0, p.NoiseFigSigmaDB)
+	}
+	if p.NoiseBurstAmpDB > 0 && p.NoiseBurstMeanOn > 0 && p.NoiseBurstMeanOff > 0 {
+		c.bursts = make([]*GilbertElliott, n)
+		for i := 0; i < n; i++ {
+			c.bursts[i] = NewGilbertElliott(p.NoiseBurstAmpDB,
+				p.NoiseBurstMeanOff, p.NoiseBurstMeanOn,
+				seeds.Stream(fmt.Sprintf("phy/burst/%d", i)))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := dist[i][j]
+			if d < 0.5 {
+				d = 0.5
+			}
+			pl := p.PathLossRefDB + 10*p.PathLossExponent*math.Log10(d)
+			pl += static.Normal(0, p.ShadowSigmaDB)
+			if extraLossDB != nil {
+				pl += extraLossDB[i][j]
+			}
+			// Environment loss is symmetric; asymmetry enters through the
+			// transmitter's power offset (receiver noise figure is applied
+			// on the noise side).
+			c.staticGainDB[i*n+j] = -pl + txOff[i]
+			c.staticGainDB[j*n+i] = -pl + txOff[j]
+		}
+	}
+	return c
+}
+
+// N returns the number of nodes the channel connects.
+func (c *Channel) N() int { return c.n }
+
+// PacketJitterSigmaDB returns the per-packet SNR jitter the medium applies.
+func (c *Channel) PacketJitterSigmaDB() float64 { return c.p.PacketJitterSigmaDB }
+
+// GainDB returns the instantaneous channel gain from tx to rx at time t,
+// including static path loss/shadowing/hardware offsets, time-varying
+// fading, and any installed link modifier. Gain is negative (a loss).
+func (c *Channel) GainDB(tx, rx int, t sim.Time) float64 {
+	g := c.staticGainDB[tx*c.n+rx]
+	if c.p.FadeSigmaDB > 0 {
+		// Fading is a property of the physical path: use one process per
+		// unordered pair so the two directions fade together.
+		g += c.fadeState(tx, rx).sample(t, c.p.FadeTau, c.p.FadeSigmaDB, c.fadeRng)
+	}
+	if m := c.modifiers[tx*c.n+rx]; m != nil {
+		g -= m.ExtraLossDB(t)
+	}
+	return g
+}
+
+func (c *Channel) fadeState(a, b int) *ouState {
+	if a > b {
+		a, b = b, a
+	}
+	return &c.fade[a*c.n+b]
+}
+
+// StaticGainDB returns the time-invariant part of the link gain, used for
+// neighbor-candidate pruning and for topology reports.
+func (c *Channel) StaticGainDB(tx, rx int) float64 { return c.staticGainDB[tx*c.n+rx] }
+
+// NoiseDBm returns the instantaneous noise floor at rx, including slow
+// drift and external interference bursts.
+func (c *Channel) NoiseDBm(rx int, t sim.Time) float64 {
+	nz := c.p.NoiseFloorDBm + c.noiseFigDB[rx]
+	if c.p.NoiseDriftSigmaDB > 0 {
+		nz += c.noiseDrift[rx].sample(t, c.p.NoiseDriftTau, c.p.NoiseDriftSigmaDB, c.noiseRng)
+	}
+	if c.bursts != nil {
+		nz += c.bursts[rx].ExtraLossDB(t)
+	}
+	return nz
+}
+
+// SetModifier installs (or clears, with nil) a scripted loss process on the
+// directed link tx→rx.
+func (c *Channel) SetModifier(tx, rx int, m LinkModifier) {
+	if tx < 0 || tx >= c.n || rx < 0 || rx >= c.n {
+		panic(fmt.Sprintf("phy: SetModifier(%d,%d) out of range n=%d", tx, rx, c.n))
+	}
+	c.modifiers[tx*c.n+rx] = m
+}
+
+// SetModifierBoth installs the same modifier on both directions of a link.
+func (c *Channel) SetModifierBoth(a, b int, m LinkModifier) {
+	c.SetModifier(a, b, m)
+	c.SetModifier(b, a, m)
+}
+
+// ExpectedSNRdB returns the static (no fading, no drift) SNR for a packet
+// sent at txPowerDBm from tx to rx — the planning value used by topology
+// diagnostics and tests.
+func (c *Channel) ExpectedSNRdB(tx, rx int, txPowerDBm float64) float64 {
+	return txPowerDBm + c.staticGainDB[tx*c.n+rx] - (c.p.NoiseFloorDBm + c.noiseFigDB[rx])
+}

@@ -1,0 +1,121 @@
+package phy
+
+import (
+	"math"
+
+	"fourbit/internal/sim"
+)
+
+// ouState is a lazily-advanced Ornstein–Uhlenbeck (mean-reverting Gaussian)
+// process sample. The OU process models slow temporal variation: per-link
+// multipath fading and per-node noise-floor drift. Lazy advancement keeps
+// the simulation event-free between queries while remaining exact: the OU
+// transition density between two sample times has the closed form
+//
+//	X(t+dt) = X(t)·e^(−dt/τ) + N(0, σ²·(1 − e^(−2dt/τ)))
+type ouState struct {
+	value float64
+	last  sim.Time
+	init  bool
+}
+
+// sample advances the process to time t and returns its value. sigma is the
+// stationary standard deviation and tau the relaxation time.
+func (o *ouState) sample(t sim.Time, tau sim.Time, sigma float64, rng *sim.Rand) float64 {
+	if sigma == 0 || tau <= 0 {
+		return 0
+	}
+	if !o.init {
+		o.value = rng.Normal(0, sigma)
+		o.last = t
+		o.init = true
+		return o.value
+	}
+	dt := t - o.last
+	if dt <= 0 {
+		return o.value
+	}
+	a := math.Exp(-float64(dt) / float64(tau))
+	o.value = o.value*a + rng.Normal(0, sigma*math.Sqrt(1-a*a))
+	o.last = t
+	return o.value
+}
+
+// GilbertElliott is a two-state continuous-time Markov channel modifier used
+// to script bursty / bimodal link behaviour (the §2.1 failure case for
+// physical-layer-only estimation). In the Good state it adds no loss; in
+// the Bad state it adds BadLossDB of attenuation — large enough that packets
+// are not received at all, so the packets that *are* received (during Good
+// sojourns) still carry high LQI.
+//
+// The chain is sampled lazily at query times using the exact two-state
+// marginal: with λ = 1/MeanGood, μ = 1/MeanBad and πG = μ/(λ+μ),
+// P(Good at t | state at t0) = πG + (1{Good at t0} − πG)·e^(−(λ+μ)(t−t0)).
+type GilbertElliott struct {
+	BadLossDB float64  // extra attenuation in the Bad state
+	MeanGood  sim.Time // mean sojourn in Good
+	MeanBad   sim.Time // mean sojourn in Bad
+	From      sim.Time // activation window start
+	Until     sim.Time // activation window end (0 = forever)
+
+	rng     *sim.Rand
+	state   bool // true = Good
+	last    sim.Time
+	started bool
+}
+
+// NewGilbertElliott returns a burst process driven by rng. The process is
+// active only inside [from, until); outside the window it adds no loss and
+// holds the chain in Good.
+func NewGilbertElliott(badLossDB float64, meanGood, meanBad sim.Time, rng *sim.Rand) *GilbertElliott {
+	return &GilbertElliott{
+		BadLossDB: badLossDB,
+		MeanGood:  meanGood,
+		MeanBad:   meanBad,
+		rng:       rng,
+		state:     true,
+	}
+}
+
+// Window restricts the process to [from, until) and returns the receiver.
+func (g *GilbertElliott) Window(from, until sim.Time) *GilbertElliott {
+	g.From, g.Until = from, until
+	return g
+}
+
+// ExtraLossDB reports the additional attenuation the process imposes at t.
+func (g *GilbertElliott) ExtraLossDB(t sim.Time) float64 {
+	if t < g.From || (g.Until > 0 && t >= g.Until) {
+		g.state, g.started = true, false
+		return 0
+	}
+	lambda := 1 / g.MeanGood.Seconds() // Good -> Bad rate
+	mu := 1 / g.MeanBad.Seconds()      // Bad -> Good rate
+	piGood := mu / (lambda + mu)
+	if !g.started {
+		g.started = true
+		g.last = t
+		g.state = g.rng.Bernoulli(piGood)
+	} else if dt := (t - g.last).Seconds(); dt > 0 {
+		decay := math.Exp(-(lambda + mu) * dt)
+		var pGood float64
+		if g.state {
+			pGood = piGood + (1-piGood)*decay
+		} else {
+			pGood = piGood - piGood*decay
+		}
+		g.state = g.rng.Bernoulli(pGood)
+		g.last = t
+	}
+	if g.state {
+		return 0
+	}
+	return g.BadLossDB
+}
+
+// StationaryBadFraction returns the long-run fraction of time in Bad.
+func (g *GilbertElliott) StationaryBadFraction() float64 {
+	lambda := 1 / g.MeanGood.Seconds()
+	mu := 1 / g.MeanBad.Seconds()
+	return lambda / (lambda + mu)
+}

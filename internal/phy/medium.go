@@ -1,0 +1,347 @@
+package phy
+
+import (
+	"fmt"
+
+	"fourbit/internal/sim"
+)
+
+// RadioParams describe the CC2420-class transceiver.
+type RadioParams struct {
+	BitrateBps        int     // 250 kbit/s for 802.15.4 at 2.4 GHz
+	PreambleBytes     int     // synchronization header sent before the frame
+	SensitivityDBm    float64 // below this a frame cannot be acquired
+	DetectionDBm      float64 // below this a signal contributes nothing
+	CCAThresholdDBm   float64 // clear-channel assessment energy threshold
+	CaptureDB         float64 // a new signal this much stronger steals the receiver
+	DefaultTxPowerDBm float64
+	// InterferenceFactor weights co-channel interference relative to
+	// thermal noise when computing the effective SINR. Concurrent 802.15.4
+	// transmissions are far more destructive than AWGN of the same power
+	// (the BER curve's DSSS processing gain does not apply to structured
+	// interference), so interference counts this many times its power.
+	InterferenceFactor float64
+}
+
+// DefaultRadioParams returns CC2420-like values.
+func DefaultRadioParams() RadioParams {
+	return RadioParams{
+		BitrateBps:         250_000,
+		PreambleBytes:      6,
+		SensitivityDBm:     -100,
+		DetectionDBm:       -110,
+		CCAThresholdDBm:    -85,
+		CaptureDB:          6,
+		DefaultTxPowerDBm:  0,
+		InterferenceFactor: 6,
+	}
+}
+
+// Medium connects n radios through a Channel, implementing frame-level
+// transmission with SINR-based reception, physical capture, and energy-based
+// carrier sense. All radios share one spectrum (one 802.15.4 channel).
+type Medium struct {
+	clock  *sim.Simulator
+	ch     *Channel
+	rp     RadioParams
+	lqip   LQIParams
+	radios []*Radio
+	rng    *sim.Rand
+
+	active     []*transmission
+	candidates [][]int // per transmitter: receivers within detection range
+
+	onTransmit func(from int, data []byte)
+
+	Stats MediumStats
+}
+
+// MediumStats aggregate frame outcomes across all radios.
+type MediumStats struct {
+	Transmissions    uint64
+	Delivered        uint64
+	DroppedBER       uint64 // failed the SINR reception draw, no interference present
+	DroppedCollision uint64 // failed the draw with interference present
+	CaptureSwitches  uint64 // receptions stomped by a much stronger signal
+	DroppedTxWhileRx uint64 // receptions aborted because the radio turned around to transmit
+}
+
+type transmission struct {
+	from     int
+	data     []byte
+	powerDBm float64
+	end      sim.Time
+	powMW    []float64 // received power per node; 0 = undetectable
+}
+
+type reception struct {
+	tx          *transmission
+	powerMW     float64
+	curInterfMW float64
+	maxInterfMW float64
+}
+
+// NewMedium builds the shared medium. Radios are created for every node of
+// the channel with the default transmit power.
+func NewMedium(clock *sim.Simulator, ch *Channel, rp RadioParams, lqip LQIParams, seeds *sim.SeedSpace) *Medium {
+	m := &Medium{
+		clock: clock,
+		ch:    ch,
+		rp:    rp,
+		lqip:  lqip,
+		rng:   seeds.Stream("phy/medium"),
+	}
+	n := ch.N()
+	m.radios = make([]*Radio, n)
+	for i := 0; i < n; i++ {
+		m.radios[i] = &Radio{m: m, id: i, txPowerDBm: rp.DefaultTxPowerDBm}
+	}
+	// Candidate receivers: static gain at maximum plausible power plus a
+	// fade margin must clear the detection floor. The margin is generous so
+	// that fading can only shrink, never grow, the true receiver set.
+	const maxPowerDBm, fadeMarginDB = 1, 14
+	m.candidates = make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if maxPowerDBm+ch.StaticGainDB(i, j)+fadeMarginDB >= rp.DetectionDBm {
+				m.candidates[i] = append(m.candidates[i], j)
+			}
+		}
+	}
+	return m
+}
+
+// Radio returns the radio of node id.
+func (m *Medium) Radio(id int) *Radio { return m.radios[id] }
+
+// OnTransmit installs a measurement tap invoked for every transmission put
+// on the air (trace recording; not visible to the protocol stack).
+func (m *Medium) OnTransmit(fn func(from int, data []byte)) { m.onTransmit = fn }
+
+// N returns the number of radios.
+func (m *Medium) N() int { return len(m.radios) }
+
+// Airtime returns the on-air duration of a frame of payloadBytes (MAC header
+// + payload + CRC), including the synchronization header.
+func (m *Medium) Airtime(payloadBytes int) sim.Time {
+	bits := int64(m.rp.PreambleBytes+payloadBytes) * 8
+	return sim.Time(bits * int64(sim.Second) / int64(m.rp.BitrateBps))
+}
+
+func (m *Medium) noiseMW(id int) float64 {
+	return DBmToMilliwatts(m.ch.NoiseDBm(id, m.clock.Now()))
+}
+
+// interferenceMWAt sums the power at node id of every active transmission
+// except exclude and except id's own.
+func (m *Medium) interferenceMWAt(id int, exclude *transmission) float64 {
+	var sum float64
+	for _, t := range m.active {
+		if t == exclude || t.from == id {
+			continue
+		}
+		sum += t.powMW[id]
+	}
+	return sum
+}
+
+func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
+	if r.transmitting {
+		panic(fmt.Sprintf("phy: radio %d Transmit while transmitting", r.id))
+	}
+	now := m.clock.Now()
+	if r.rx != nil {
+		// Half duplex: turning around to transmit aborts the reception.
+		r.rx = nil
+		m.Stats.DroppedTxWhileRx++
+	}
+	air := m.Airtime(len(data))
+	t := &transmission{
+		from:     r.id,
+		data:     data,
+		powerDBm: r.txPowerDBm,
+		end:      now + air,
+		powMW:    make([]float64, len(m.radios)),
+	}
+	m.active = append(m.active, t)
+	r.transmitting = true
+	m.Stats.Transmissions++
+	r.Stats.TxFrames++
+	if m.onTransmit != nil {
+		m.onTransmit(r.id, data)
+	}
+
+	captureLin := DBToLinear(m.rp.CaptureDB)
+	for _, j := range m.candidates[r.id] {
+		prxDBm := r.txPowerDBm + m.ch.GainDB(r.id, j, now)
+		if prxDBm < m.rp.DetectionDBm {
+			continue
+		}
+		pmw := DBmToMilliwatts(prxDBm)
+		t.powMW[j] = pmw
+		rj := m.radios[j]
+		switch {
+		case rj.transmitting:
+			// Busy transmitting; this signal is inaudible to j but was
+			// recorded above as interference for others via t.powMW.
+		case rj.rx != nil:
+			if pmw > rj.rx.powerMW*captureLin && prxDBm >= m.rp.SensitivityDBm {
+				// Physical capture: the much stronger new signal steals the
+				// receiver; the old frame is lost and keeps interfering.
+				m.Stats.CaptureSwitches++
+				rj.Stats.DropsCollision++
+				cur := m.interferenceMWAt(j, t)
+				rj.rx = &reception{tx: t, powerMW: pmw, curInterfMW: cur, maxInterfMW: cur}
+			} else {
+				rj.rx.curInterfMW += pmw
+				if rj.rx.curInterfMW > rj.rx.maxInterfMW {
+					rj.rx.maxInterfMW = rj.rx.curInterfMW
+				}
+			}
+		default: // idle
+			if prxDBm >= m.rp.SensitivityDBm {
+				cur := m.interferenceMWAt(j, t)
+				rj.rx = &reception{tx: t, powerMW: pmw, curInterfMW: cur, maxInterfMW: cur}
+			}
+		}
+	}
+	// The finish event is scheduled before any caller-side completion event
+	// at the same deadline, so receivers see the frame before the sender's
+	// MAC reacts to its own completion (FIFO ordering at equal times).
+	m.clock.At(t.end, func() { m.finishTx(t) })
+	return air
+}
+
+func (m *Medium) finishTx(t *transmission) {
+	for i, a := range m.active {
+		if a == t {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	sender := m.radios[t.from]
+	sender.transmitting = false
+
+	now := m.clock.Now()
+	for _, j := range m.candidates[t.from] {
+		pmw := t.powMW[j]
+		if pmw == 0 {
+			continue
+		}
+		rj := m.radios[j]
+		rx := rj.rx
+		if rx == nil {
+			continue
+		}
+		if rx.tx != t {
+			// This transmission was interference for j's ongoing reception.
+			rx.curInterfMW -= pmw
+			if rx.curInterfMW < 0 {
+				rx.curInterfMW = 0
+			}
+			continue
+		}
+		rj.rx = nil
+		sinrLin := rx.powerMW / (m.noiseMW(j) + m.rp.InterferenceFactor*rx.maxInterfMW)
+		sinrDB := LinearToDB(sinrLin)
+		// Fast per-packet variation (multipath ISI): one draw decides both
+		// the frame's fate and, if it survives, the quality it reports —
+		// so received packets are biased toward good instants.
+		if jitter := m.ch.PacketJitterSigmaDB(); jitter > 0 {
+			sinrDB += m.rng.Normal(0, jitter)
+		}
+		prr := PRR(sinrDB, len(t.data))
+		if m.rng.Bernoulli(prr) {
+			lqi, white := m.lqip.Synthesize(sinrDB, m.rng)
+			info := RxInfo{
+				At:      now,
+				SNRdB:   sinrDB,
+				RSSIdBm: MilliwattsToDBm(rx.powerMW),
+				LQI:     lqi,
+				White:   white,
+			}
+			m.Stats.Delivered++
+			rj.Stats.RxFrames++
+			if rj.snoop != nil {
+				rj.snoop(t.data, info)
+			}
+			if rj.recv != nil {
+				rj.recv(t.data, info)
+			}
+		} else if rx.maxInterfMW > m.noiseMW(j)*0.1 {
+			m.Stats.DroppedCollision++
+			rj.Stats.DropsCollision++
+		} else {
+			m.Stats.DroppedBER++
+			rj.Stats.DropsBER++
+		}
+	}
+}
+
+// Radio is one node's transceiver. MAC layers drive it through Transmit and
+// ChannelClear and receive frames via the handler installed with OnReceive.
+type Radio struct {
+	m            *Medium
+	id           int
+	txPowerDBm   float64
+	transmitting bool
+	rx           *reception
+	recv         func(data []byte, info RxInfo)
+	snoop        func(data []byte, info RxInfo)
+
+	Stats RadioStats
+}
+
+// RadioStats count per-radio frame outcomes.
+type RadioStats struct {
+	TxFrames       uint64
+	RxFrames       uint64
+	DropsBER       uint64
+	DropsCollision uint64
+}
+
+// ID returns the node index of this radio.
+func (r *Radio) ID() int { return r.id }
+
+// OnReceive installs the frame delivery handler. The data slice is shared
+// with the sender and must be treated as immutable.
+func (r *Radio) OnReceive(fn func(data []byte, info RxInfo)) { r.recv = fn }
+
+// OnSnoop installs a measurement tap that sees every frame this radio
+// successfully receives, before the protocol handler. Used by the trace
+// recorder; must not mutate the data.
+func (r *Radio) OnSnoop(fn func(data []byte, info RxInfo)) { r.snoop = fn }
+
+// SetTxPower sets the transmit power in dBm for subsequent transmissions.
+func (r *Radio) SetTxPower(dbm float64) { r.txPowerDBm = dbm }
+
+// TxPower returns the configured transmit power in dBm.
+func (r *Radio) TxPower() float64 { return r.txPowerDBm }
+
+// Transmitting reports whether the radio is mid-transmission.
+func (r *Radio) Transmitting() bool { return r.transmitting }
+
+// Receiving reports whether the radio is locked onto an incoming frame.
+func (r *Radio) Receiving() bool { return r.rx != nil }
+
+// ChannelClear performs a CC2420-style energy-detect clear channel
+// assessment: the channel is clear when total received energy (noise plus
+// all active signals) is below the CCA threshold and the radio itself is
+// neither transmitting nor locked onto a frame.
+func (r *Radio) ChannelClear() bool {
+	if r.transmitting || r.rx != nil {
+		return false
+	}
+	energy := r.m.noiseMW(r.id) + r.m.interferenceMWAt(r.id, nil)
+	return MilliwattsToDBm(energy) < r.m.rp.CCAThresholdDBm
+}
+
+// Transmit puts data on the air immediately and returns its airtime. The
+// caller (the MAC) schedules its own completion handling after the returned
+// duration; receivers get the frame first at that instant.
+func (r *Radio) Transmit(data []byte) sim.Time {
+	return r.m.startTx(r, data)
+}

@@ -1,0 +1,253 @@
+package phy
+
+import (
+	"testing"
+
+	"fourbit/internal/sim"
+)
+
+// testbed builds a clock + medium over a line of n nodes at the given
+// spacing with all randomness disabled except the reception draw.
+func testbed(t *testing.T, n int, spacing float64, seed uint64) (*sim.Simulator, *Medium) {
+	t.Helper()
+	clock := sim.New(seed)
+	p := DefaultParams()
+	p.ShadowSigmaDB, p.TxVarSigmaDB, p.FadeSigmaDB, p.NoiseDriftSigmaDB = 0, 0, 0, 0
+	p.NoiseBurstAmpDB = 0
+	p.PacketJitterSigmaDB = 0
+	ch := NewChannel(lineDist(n, spacing), nil, p, sim.NewSeedSpace(seed))
+	m := NewMedium(clock, ch, DefaultRadioParams(), DefaultLQIParams(), sim.NewSeedSpace(seed))
+	return clock, m
+}
+
+func TestAirtimeMatchesBitrate(t *testing.T) {
+	_, m := testbed(t, 2, 5, 1)
+	// (6 preamble + 34 payload) bytes * 8 bits / 250 kbit/s = 1.28 ms.
+	if got := m.Airtime(34); got != 1280*sim.Microsecond {
+		t.Fatalf("Airtime(34) = %v, want 1.28ms", got)
+	}
+}
+
+func TestStrongLinkDelivers(t *testing.T) {
+	clock, m := testbed(t, 2, 5, 1) // 5 m at 0 dBm: huge margin
+	var got []RxInfo
+	m.Radio(1).OnReceive(func(data []byte, info RxInfo) {
+		if len(data) != 20 {
+			t.Errorf("payload len %d, want 20", len(data))
+		}
+		got = append(got, info)
+	})
+	for i := 0; i < 50; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		clock.At(at, func() { m.Radio(0).Transmit(make([]byte, 20)) })
+	}
+	clock.Run()
+	if len(got) != 50 {
+		t.Fatalf("delivered %d/50 on a 5 m link", len(got))
+	}
+	for _, info := range got {
+		if !info.White {
+			t.Error("white bit clear on a very strong link")
+		}
+		if info.LQI < 105 {
+			t.Errorf("LQI %d on a very strong link", info.LQI)
+		}
+		if info.SNRdB < 20 {
+			t.Errorf("SNR %v dB, want > 20", info.SNRdB)
+		}
+	}
+}
+
+func TestOutOfRangeLinkDeliversNothing(t *testing.T) {
+	clock, m := testbed(t, 2, 120, 2) // 120 m: below detection at 0 dBm
+	delivered := 0
+	m.Radio(1).OnReceive(func([]byte, RxInfo) { delivered++ })
+	for i := 0; i < 50; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		clock.At(at, func() { m.Radio(0).Transmit(make([]byte, 20)) })
+	}
+	clock.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d frames on a 120 m link", delivered)
+	}
+}
+
+func TestIntermediateLinkLossy(t *testing.T) {
+	// Place the receiver in the grey region and verify PRR is intermediate.
+	clock, m := testbed(t, 2, 55, 3)
+	delivered := 0
+	m.Radio(1).OnReceive(func([]byte, RxInfo) { delivered++ })
+	n := 600
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		clock.At(at, func() { m.Radio(0).Transmit(make([]byte, 30)) })
+	}
+	clock.Run()
+	prr := float64(delivered) / float64(n)
+	if prr < 0.02 || prr > 0.98 {
+		t.Fatalf("PRR at 26.5 m = %.3f, want intermediate (grey region)", prr)
+	}
+}
+
+func TestHalfDuplexSenderDoesNotHearItself(t *testing.T) {
+	clock, m := testbed(t, 2, 5, 4)
+	heardSelf := false
+	m.Radio(0).OnReceive(func([]byte, RxInfo) { heardSelf = true })
+	clock.At(0, func() { m.Radio(0).Transmit(make([]byte, 20)) })
+	clock.Run()
+	if heardSelf {
+		t.Fatal("sender received its own frame")
+	}
+}
+
+func TestConcurrentSendersCollideAtMidpoint(t *testing.T) {
+	// Nodes 0 and 2 transmit simultaneously; node 1 sits exactly between
+	// them, so neither signal can capture: both frames must be lost.
+	clock := sim.New(5)
+	p := DefaultParams()
+	p.ShadowSigmaDB, p.TxVarSigmaDB, p.FadeSigmaDB, p.NoiseDriftSigmaDB = 0, 0, 0, 0
+	ch := NewChannel(lineDist(3, 10), nil, p, sim.NewSeedSpace(5))
+	m := NewMedium(clock, ch, DefaultRadioParams(), DefaultLQIParams(), sim.NewSeedSpace(5))
+	delivered := 0
+	m.Radio(1).OnReceive(func([]byte, RxInfo) { delivered++ })
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		clock.At(at, func() { m.Radio(0).Transmit(make([]byte, 30)) })
+		clock.At(at, func() { m.Radio(2).Transmit(make([]byte, 30)) })
+	}
+	clock.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d frames under symmetric collision, want 0", delivered)
+	}
+	if m.Stats.DroppedCollision == 0 {
+		t.Fatal("no collision drops recorded")
+	}
+}
+
+func TestCaptureStrongerSignalWins(t *testing.T) {
+	// Node 1 is 5 m from node 0 but 35 m from node 2: node 2's signal is
+	// acquirable but node 0's is ~25 dB stronger, far above the capture
+	// margin, so node 0's frames should stomp node 2's and get through
+	// even when node 2 transmits first.
+	clock := sim.New(6)
+	p := DefaultParams()
+	p.ShadowSigmaDB, p.TxVarSigmaDB, p.FadeSigmaDB, p.NoiseDriftSigmaDB = 0, 0, 0, 0
+	p.NoiseBurstAmpDB = 0
+	p.PacketJitterSigmaDB = 0
+	dist := [][]float64{
+		{0, 5, 40},
+		{5, 0, 35},
+		{40, 35, 0},
+	}
+	ch := NewChannel(dist, nil, p, sim.NewSeedSpace(6))
+	m := NewMedium(clock, ch, DefaultRadioParams(), DefaultLQIParams(), sim.NewSeedSpace(6))
+	delivered := 0
+	m.Radio(1).OnReceive(func([]byte, RxInfo) { delivered++ })
+	n := 100
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		// Weak interferer starts first, strong signal arrives mid-frame.
+		clock.At(at, func() { m.Radio(2).Transmit(make([]byte, 30)) })
+		clock.At(at+200*sim.Microsecond, func() { m.Radio(0).Transmit(make([]byte, 30)) })
+	}
+	clock.Run()
+	if delivered < n*8/10 {
+		t.Fatalf("capture delivered %d/%d, want most", delivered, n)
+	}
+	if m.Stats.CaptureSwitches == 0 {
+		t.Fatal("no capture switches recorded")
+	}
+}
+
+func TestChannelClearReflectsActivity(t *testing.T) {
+	clock, m := testbed(t, 2, 5, 7)
+	if !m.Radio(1).ChannelClear() {
+		t.Fatal("idle channel reported busy")
+	}
+	clock.At(0, func() {
+		m.Radio(0).Transmit(make([]byte, 60))
+	})
+	clock.At(100*sim.Microsecond, func() {
+		if m.Radio(1).ChannelClear() {
+			t.Error("channel clear while 5 m neighbor transmitting")
+		}
+		if m.Radio(0).ChannelClear() {
+			t.Error("transmitting radio reported channel clear")
+		}
+	})
+	clock.Run()
+	if !m.Radio(1).ChannelClear() {
+		t.Fatal("channel busy after all transmissions ended")
+	}
+}
+
+func TestTurnaroundAbortsReception(t *testing.T) {
+	clock, m := testbed(t, 2, 5, 8)
+	delivered := 0
+	m.Radio(1).OnReceive(func([]byte, RxInfo) { delivered++ })
+	clock.At(0, func() { m.Radio(0).Transmit(make([]byte, 60)) })
+	// Node 1 turns around to transmit mid-reception.
+	clock.At(300*sim.Microsecond, func() { m.Radio(1).Transmit(make([]byte, 10)) })
+	clock.Run()
+	if delivered != 0 {
+		t.Fatal("frame delivered despite receiver turning to transmit")
+	}
+	if m.Stats.DroppedTxWhileRx != 1 {
+		t.Fatalf("DroppedTxWhileRx = %d, want 1", m.Stats.DroppedTxWhileRx)
+	}
+}
+
+func TestTransmitWhileTransmittingPanics(t *testing.T) {
+	clock, m := testbed(t, 2, 5, 9)
+	clock.At(0, func() {
+		m.Radio(0).Transmit(make([]byte, 60))
+		defer func() {
+			if recover() == nil {
+				t.Error("double Transmit did not panic")
+			}
+		}()
+		m.Radio(0).Transmit(make([]byte, 10))
+	})
+	clock.Run()
+}
+
+func TestLowPowerShrinksRange(t *testing.T) {
+	deliver := func(power float64) int {
+		clock, m := testbed(t, 2, 30, uint64(10+int(power)))
+		m.Radio(0).SetTxPower(power)
+		count := 0
+		m.Radio(1).OnReceive(func([]byte, RxInfo) { count++ })
+		for i := 0; i < 200; i++ {
+			at := sim.Time(i) * 10 * sim.Millisecond
+			clock.At(at, func() { m.Radio(0).Transmit(make([]byte, 30)) })
+		}
+		clock.Run()
+		return count
+	}
+	at0 := deliver(0)
+	at20 := deliver(-20)
+	if at0 < 190 {
+		t.Fatalf("22 m link at 0 dBm delivered %d/200, want ~all", at0)
+	}
+	if at20 > 10 {
+		t.Fatalf("22 m link at -20 dBm delivered %d/200, want ~none", at20)
+	}
+}
+
+func TestMediumStatsConsistency(t *testing.T) {
+	clock, m := testbed(t, 3, 18, 11)
+	rx := 0
+	m.Radio(1).OnReceive(func([]byte, RxInfo) { rx++ })
+	m.Radio(2).OnReceive(func([]byte, RxInfo) { rx++ })
+	for i := 0; i < 300; i++ {
+		at := sim.Time(i) * 5 * sim.Millisecond
+		clock.At(at, func() { m.Radio(0).Transmit(make([]byte, 25)) })
+	}
+	clock.Run()
+	if m.Stats.Transmissions != 300 {
+		t.Fatalf("Transmissions = %d, want 300", m.Stats.Transmissions)
+	}
+	if uint64(rx) != m.Stats.Delivered {
+		t.Fatalf("delivered callbacks %d != Stats.Delivered %d", rx, m.Stats.Delivered)
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+// eventQueue is an indexed binary min-heap of scheduled events, ordered by
+// firing time with insertion sequence as the tie-breaker so that events
+// scheduled for the same instant fire in FIFO order. The index permits O(log
+// n) cancellation without tombstone scans.
+type eventQueue struct {
+	items []*Timer
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *eventQueue) push(t *Timer) {
+	t.index = len(q.items)
+	q.items = append(q.items, t)
+	q.up(t.index)
+}
+
+// pop removes and returns the earliest event. It must not be called on an
+// empty queue.
+func (q *eventQueue) pop() *Timer {
+	n := len(q.items) - 1
+	q.swap(0, n)
+	t := q.items[n]
+	q.items[n] = nil
+	q.items = q.items[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	t.index = -1
+	return t
+}
+
+// peek returns the earliest event without removing it, or nil if empty.
+func (q *eventQueue) peek() *Timer {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// remove deletes the event at heap position i.
+func (q *eventQueue) remove(i int) {
+	n := len(q.items) - 1
+	if i != n {
+		q.swap(i, n)
+	}
+	q.items[n].index = -1
+	q.items[n] = nil
+	q.items = q.items[:n]
+	if i < n {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts item i toward the leaves; it reports whether the item moved.
+func (q *eventQueue) down(i int) bool {
+	start := i
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.swap(i, child)
+		i = child
+	}
+	return i > start
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// SeedSpace derives independent, reproducible random streams from one master
+// seed. Stream identity is by name, so adding or removing streams never
+// perturbs the sequences of the others — a property the experiment harness
+// relies on when comparing protocol variants on "the same" channel.
+type SeedSpace struct {
+	master  uint64
+	streams map[string]*Rand
+}
+
+// NewSeedSpace returns a seed space rooted at master.
+func NewSeedSpace(master uint64) *SeedSpace {
+	return &SeedSpace{master: master, streams: make(map[string]*Rand)}
+}
+
+// Stream returns the stream for name, creating it on first use.
+func (ss *SeedSpace) Stream(name string) *Rand {
+	if r, ok := ss.streams[name]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	seed := splitmix64(ss.master ^ h.Sum64())
+	r := NewRand(seed)
+	ss.streams[name] = r
+	return r
+}
+
+// splitmix64 is the finalizer from Vigna's SplitMix64; it decorrelates
+// related seeds (master ^ hash collisions of nearby names).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rand is a deterministic random stream with the distributions the
+// simulator's models need. It wraps math/rand.Rand (stdlib) seeded through
+// SplitMix64.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a stream seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{rand.New(rand.NewSource(int64(splitmix64(seed))))}
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Uniform returns a sample from U[lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// UniformTime returns a Time sampled from U[lo, hi).
+func (r *Rand) UniformTime(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(r.Int63n(int64(hi-lo)))
+}
+
+// Normal returns a sample from N(mean, sigma^2).
+func (r *Rand) Normal(mean, sigma float64) float64 {
+	return mean + sigma*r.NormFloat64()
+}
+
+// Exp returns an exponentially distributed sample with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// ExpTime returns an exponentially distributed Time with the given mean.
+func (r *Rand) ExpTime(mean Time) Time {
+	return Time(r.ExpFloat64() * float64(mean))
+}

@@ -1,0 +1,162 @@
+package sim
+
+import "fmt"
+
+// Simulator owns the virtual clock and the event queue. It is not safe for
+// concurrent use: the whole simulation runs single-threaded, which is what
+// makes runs bit-for-bit reproducible.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	events  uint64 // total events dispatched, for reporting
+	rng     *SeedSpace
+}
+
+// New returns a Simulator whose random streams derive from seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: NewSeedSpace(seed)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Events returns the number of events dispatched so far.
+func (s *Simulator) Events() uint64 { return s.events }
+
+// Stream returns the named deterministic random stream. Streams with the
+// same name on simulators built from the same seed produce identical
+// sequences regardless of how many other streams exist.
+func (s *Simulator) Stream(name string) *Rand { return s.rng.Stream(name) }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// (before Now) panics: it always indicates a protocol-logic bug. The
+// returned Timer can cancel the event before it fires.
+func (s *Simulator) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	t := &Timer{at: at, seq: s.seq, fn: fn, sim: s}
+	s.seq++
+	s.queue.push(t)
+	return t
+}
+
+// After schedules fn to run d from now. d must be non-negative.
+func (s *Simulator) After(d Time, fn func()) *Timer {
+	checkNonNegative(d)
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run every interval, starting at start. The returned
+// Timer cancels the whole series. Each firing reuses the Timer, so holding
+// the pointer is enough to stop the periodic task.
+func (s *Simulator) Every(start, interval Time, fn func()) *Timer {
+	checkNonNegative(interval)
+	t := &Timer{sim: s, fn: fn, repeat: interval}
+	t.at = start
+	t.seq = s.seq
+	s.seq++
+	if start < s.now {
+		panic(fmt.Sprintf("sim: periodic start %v before now %v", start, s.now))
+	}
+	s.queue.push(t)
+	return t
+}
+
+// Step dispatches the next pending event, if any, advancing the clock to its
+// deadline. It reports whether an event ran.
+func (s *Simulator) Step() bool {
+	t := s.queue.peek()
+	if t == nil {
+		return false
+	}
+	s.queue.pop()
+	s.now = t.at
+	s.events++
+	fn := t.fn
+	if t.repeat > 0 && !t.cancelled {
+		t.at += t.repeat
+		t.seq = s.seq
+		s.seq++
+		s.queue.push(t)
+	} else {
+		t.fired = true
+	}
+	fn()
+	return true
+}
+
+// Run dispatches events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil dispatches events with deadlines <= t, then sets the clock to t.
+// Events scheduled exactly at t do run.
+func (s *Simulator) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped {
+		next := s.queue.peek()
+		if next == nil || next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by span d.
+func (s *Simulator) RunFor(d Time) {
+	checkNonNegative(d)
+	s.RunUntil(s.now + d)
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending returns the number of scheduled events (including cancelled timers
+// not yet reaped — cancellation removes immediately, so this is exact).
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	at        Time
+	seq       uint64
+	index     int
+	fn        func()
+	sim       *Simulator
+	repeat    Time
+	fired     bool
+	cancelled bool
+}
+
+// Cancel removes the event from the queue. It reports whether the event was
+// still pending (i.e. the cancellation had effect). Cancelling an
+// already-fired or already-cancelled timer is a no-op.
+func (t *Timer) Cancel() bool {
+	if t.cancelled || t.fired || t.index < 0 && t.repeat == 0 {
+		return false
+	}
+	t.cancelled = true
+	if t.index >= 0 {
+		t.sim.queue.remove(t.index)
+		t.index = -1
+		return true
+	}
+	return false
+}
+
+// Active reports whether the timer is still scheduled to fire.
+func (t *Timer) Active() bool { return !t.cancelled && !t.fired }
+
+// Deadline returns the next firing time.
+func (t *Timer) Deadline() Time { return t.at }

@@ -1,0 +1,385 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	s := New(1)
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []Time
+	for _, at := range []Time{5 * Second, 1 * Second, 3 * Second, 2 * Second, 4 * Second} {
+		at := at
+		s.At(at, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	want := []Time{1 * Second, 2 * Second, 3 * Second, 4 * Second, 5 * Second}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameDeadlineFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (same-deadline events must be FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New(1)
+	var fired Time = -1
+	s.At(2*Second, func() {
+		s.After(3*Second, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 5*Second {
+		t.Fatalf("nested After fired at %v, want 5s", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.At(Second, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("Cancel reported no effect on a pending timer")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel reported effect")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New(1)
+	var fired []int
+	timers := make([]*Timer, 20)
+	for i := 0; i < 20; i++ {
+		i := i
+		timers[i] = s.At(Time(i+1)*Millisecond, func() { fired = append(fired, i) })
+	}
+	timers[7].Cancel()
+	timers[0].Cancel()
+	timers[19].Cancel()
+	s.Run()
+	if len(fired) != 17 {
+		t.Fatalf("fired %d events, want 17", len(fired))
+	}
+	for _, v := range fired {
+		if v == 7 || v == 0 || v == 19 {
+			t.Fatalf("cancelled timer %d fired", v)
+		}
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for i := 1; i <= 10; i++ {
+		at := Time(i) * Second
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(5 * Second)
+	if len(fired) != 5 {
+		t.Fatalf("RunUntil(5s) fired %d events, want 5 (inclusive boundary)", len(fired))
+	}
+	if s.Now() != 5*Second {
+		t.Fatalf("Now() = %v after RunUntil(5s)", s.Now())
+	}
+	s.RunFor(5 * Second)
+	if len(fired) != 10 {
+		t.Fatalf("after RunFor(5s) fired %d, want 10", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	s := New(1)
+	s.RunUntil(42 * Second)
+	if s.Now() != 42*Second {
+		t.Fatalf("Now() = %v, want 42s", s.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 100; i++ {
+		s.At(Time(i)*Millisecond, func() {
+			count++
+			if count == 10 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("Run dispatched %d events after Stop, want 10", count)
+	}
+	s.Run()
+	if count != 100 {
+		t.Fatalf("resumed Run dispatched %d total, want 100", count)
+	}
+}
+
+func TestEveryRepeats(t *testing.T) {
+	s := New(1)
+	var at []Time
+	tm := s.Every(Second, 2*Second, func() { at = append(at, s.Now()) })
+	s.RunUntil(10 * Second)
+	want := []Time{1 * Second, 3 * Second, 5 * Second, 7 * Second, 9 * Second}
+	if len(at) != len(want) {
+		t.Fatalf("periodic fired %d times, want %d", len(at), len(want))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("firing %d at %v, want %v", i, at[i], want[i])
+		}
+	}
+	tm.Cancel()
+	s.RunUntil(20 * Second)
+	if len(at) != len(want) {
+		t.Fatal("periodic fired after Cancel")
+	}
+}
+
+func TestPeriodicCancelFromCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tm *Timer
+	tm = s.Every(0, Second, func() {
+		count++
+		if count == 3 {
+			tm.Cancel()
+		}
+	})
+	s.RunUntil(10 * Second)
+	if count != 3 {
+		t.Fatalf("periodic fired %d times, want 3", count)
+	}
+}
+
+func TestEventCounting(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.At(Time(i)*Millisecond, func() {})
+	}
+	s.Run()
+	if s.Events() != 5 {
+		t.Fatalf("Events() = %d, want 5", s.Events())
+	}
+}
+
+// Property: for any batch of deadlines, dispatch order equals the sorted
+// order of those deadlines.
+func TestPropertyDispatchOrderIsSorted(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		s := New(7)
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r % 1_000_000)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the indexed heap stays consistent under random interleavings of
+// schedule and cancel.
+func TestPropertyHeapConsistencyUnderCancel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(uint64(seed))
+		var live []*Timer
+		fired := 0
+		expect := 0
+		for i := 0; i < 300; i++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				tm := s.At(Time(rng.Intn(1_000_000)), func() { fired++ })
+				expect++
+				live = append(live, tm)
+			} else {
+				k := rng.Intn(len(live))
+				if live[k].Cancel() {
+					expect--
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		s.Run()
+		return fired == expect && s.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamsAreIndependentOfCreationOrder(t *testing.T) {
+	a := NewSeedSpace(99)
+	_ = a.Stream("x")
+	aPhy := a.Stream("phy")
+	seqA := []float64{aPhy.Float64(), aPhy.Float64(), aPhy.Float64()}
+
+	b := NewSeedSpace(99)
+	bPhy := b.Stream("phy") // created first this time
+	_ = b.Stream("x")
+	seqB := []float64{bPhy.Float64(), bPhy.Float64(), bPhy.Float64()}
+
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("stream %q differs by creation order at %d: %v vs %v", "phy", i, seqA[i], seqB[i])
+		}
+	}
+}
+
+func TestStreamIsMemoized(t *testing.T) {
+	ss := NewSeedSpace(5)
+	if ss.Stream("a") != ss.Stream("a") {
+		t.Fatal("same name returned distinct streams")
+	}
+	if ss.Stream("a") == ss.Stream("b") {
+		t.Fatal("distinct names returned the same stream")
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	r1 := NewSeedSpace(1).Stream("s")
+	r2 := NewSeedSpace(2).Stream("s")
+	same := 0
+	for i := 0; i < 16; i++ {
+		if r1.Int63() == r2.Int63() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("streams from different master seeds are identical")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := NewRand(4)
+	n, hits := 100_000, 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.28 || got > 0.32 {
+		t.Fatalf("Bernoulli(0.3) frequency = %.4f, want ~0.30", got)
+	}
+}
+
+func TestUniformTimeBounds(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 1000; i++ {
+		v := r.UniformTime(Second, 2*Second)
+		if v < Second || v >= 2*Second {
+			t.Fatalf("UniformTime out of range: %v", v)
+		}
+	}
+	if r.UniformTime(Second, Second) != Second {
+		t.Fatal("degenerate UniformTime should return lo")
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{90 * Second, "1m30s"},
+		{Never, "never"},
+		{1500 * Millisecond, "1.5s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Error("FromSeconds(1.5) wrong")
+	}
+	if (2 * Hour).Hours() != 2 {
+		t.Error("Hours() wrong")
+	}
+	if (250 * Millisecond).Seconds() != 0.25 {
+		t.Error("Seconds() wrong")
+	}
+}
+
+func BenchmarkScheduleDispatch(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Time(i%1000)*Microsecond, fn)
+		if i%64 == 63 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

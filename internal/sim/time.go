@@ -1,0 +1,68 @@
+// Package sim implements the discrete-event simulation engine that every
+// other subsystem in this repository runs on.
+//
+// The engine is deliberately small: a virtual clock, an event queue ordered
+// by (time, insertion sequence), cancellable timers, and deterministic
+// pseudo-random streams derived from a single master seed. TinyOS programs
+// are event-driven state machines; running their Go ports on this engine
+// preserves those semantics without threads or wall-clock time.
+//
+// All times are virtual. Library code must never consult the wall clock.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, counted in nanoseconds from the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time int64
+
+// Duration units expressed as Time deltas. A Time and a duration share the
+// representation, mirroring time.Duration, because the simulation epoch is
+// always zero.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// Never is a sentinel Time later than any schedulable event.
+const Never Time = 1<<63 - 1
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Hours reports t as floating-point hours.
+func (t Time) Hours() float64 { return float64(t) / float64(Hour) }
+
+// Duration converts t, interpreted as a span, to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats t using time.Duration notation (e.g. "1m30s").
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return time.Duration(t).String()
+}
+
+// Scale returns t scaled by f, rounding toward zero. It is used for jitter
+// and backoff computations.
+func (t Time) Scale(f float64) Time { return Time(float64(t) * f) }
+
+// FromSeconds converts floating-point seconds into a Time span.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromDuration converts a time.Duration into a Time span.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+func checkNonNegative(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative duration %d", int64(d)))
+	}
+}

@@ -1,0 +1,219 @@
+package topo
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestLineDistances(t *testing.T) {
+	l := Line(5, 10)
+	if l.N() != 5 {
+		t.Fatalf("N = %d", l.N())
+	}
+	if d := l.Distance(0, 4); d != 40 {
+		t.Fatalf("Distance(0,4) = %v, want 40", d)
+	}
+	if l.Root != 0 {
+		t.Fatal("line root should be node 0")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(3, 4, 5)
+	if g.N() != 12 {
+		t.Fatalf("N = %d, want 12", g.N())
+	}
+	if d := g.Distance(0, 3); d != 15 {
+		t.Fatalf("row distance = %v, want 15", d)
+	}
+	if d := g.Distance(0, 11); math.Abs(d-math.Sqrt(15*15+10*10)) > 1e-9 {
+		t.Fatalf("diagonal = %v", d)
+	}
+}
+
+func TestMatricesSymmetricZeroDiagonal(t *testing.T) {
+	for _, tp := range []*Topology{Mirage(1), TutorNet(1), Grid(4, 4, 6), UniformRandom(30, 50, 30, 3)} {
+		dist, extra := tp.Matrices()
+		n := tp.N()
+		if len(dist) != n || len(extra) != n {
+			t.Fatalf("%s: matrix size mismatch", tp.Name)
+		}
+		for i := 0; i < n; i++ {
+			if dist[i][i] != 0 || extra[i][i] != 0 {
+				t.Fatalf("%s: nonzero diagonal at %d", tp.Name, i)
+			}
+			for j := 0; j < n; j++ {
+				if dist[i][j] != dist[j][i] || extra[i][j] != extra[j][i] {
+					t.Fatalf("%s: asymmetric at (%d,%d)", tp.Name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMirageShape(t *testing.T) {
+	m := Mirage(7)
+	if m.N() != 85 {
+		t.Fatalf("Mirage has %d nodes, want 85", m.N())
+	}
+	if m.Root != 0 {
+		t.Fatal("root must be node 0")
+	}
+	r := m.Positions[0]
+	if r.X > 5 || r.Y > 5 {
+		t.Fatalf("root not in bottom-left corner: %+v", r)
+	}
+	for i, p := range m.Positions {
+		if p.X < 0 || p.X > 48 || p.Y < 0 || p.Y > 28 {
+			t.Fatalf("node %d out of floor bounds: %+v", i, p)
+		}
+		if p.Floor != 0 {
+			t.Fatalf("Mirage node %d on floor %d", i, p.Floor)
+		}
+	}
+}
+
+func TestMirageDeterministicPerSeed(t *testing.T) {
+	a, b := Mirage(5), Mirage(5)
+	if !reflect.DeepEqual(a.Positions, b.Positions) {
+		t.Fatal("same seed produced different Mirage layouts")
+	}
+	c := Mirage(6)
+	if reflect.DeepEqual(a.Positions, c.Positions) {
+		t.Fatal("different seeds produced identical layouts")
+	}
+}
+
+func TestTutorNetShape(t *testing.T) {
+	tn := TutorNet(7)
+	if tn.N() != 94 {
+		t.Fatalf("TutorNet has %d nodes, want 94", tn.N())
+	}
+	floors := map[int]int{}
+	for _, p := range tn.Positions {
+		floors[p.Floor]++
+	}
+	if len(floors) != 2 {
+		t.Fatalf("TutorNet floors = %v, want 2 storeys", floors)
+	}
+	if tn.FloorLossDB <= 0 || tn.FloorHeightM <= 0 {
+		t.Fatal("TutorNet must attenuate between floors")
+	}
+}
+
+func TestTutorNetFloorLossInMatrix(t *testing.T) {
+	tn := TutorNet(8)
+	_, extra := tn.Matrices()
+	// Same-floor pairs carry only clutter (0..ClutterDB); cross-floor
+	// pairs carry the slab loss on top.
+	for i := 1; i < tn.N(); i++ {
+		loss := extra[0][i]
+		if tn.Positions[i].Floor == tn.Positions[0].Floor {
+			if loss < 0 || loss > tn.ClutterDB {
+				t.Fatalf("same-floor loss to %d = %v, want within [0, %v]", i, loss, tn.ClutterDB)
+			}
+		} else if loss < tn.FloorLossDB || loss > tn.FloorLossDB+tn.ClutterDB {
+			t.Fatalf("cross-floor loss to %d = %v, want slab %v + clutter", i, loss, tn.FloorLossDB)
+		}
+	}
+}
+
+func TestClutterDeterministicAndBounded(t *testing.T) {
+	a, b := TutorNet(9), TutorNet(9)
+	_, ea := a.Matrices()
+	_, eb := b.Matrices()
+	for i := 0; i < a.N(); i++ {
+		for j := 0; j < a.N(); j++ {
+			if ea[i][j] != eb[i][j] {
+				t.Fatalf("clutter differs across identical builds at (%d,%d)", i, j)
+			}
+		}
+	}
+	c := TutorNet(10)
+	_, ec := c.Matrices()
+	same := true
+	for i := 0; i < a.N() && same; i++ {
+		for j := 0; j < a.N(); j++ {
+			if ea[i][j] != ec[i][j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical clutter")
+	}
+}
+
+func TestCrossFloorDistanceIncludesHeight(t *testing.T) {
+	tn := &Topology{
+		FloorHeightM: 4,
+		Positions:    []Point{{X: 0, Y: 0, Floor: 0}, {X: 0, Y: 0, Floor: 1}},
+	}
+	if d := tn.Distance(0, 1); d != 4 {
+		t.Fatalf("cross-floor distance = %v, want 4", d)
+	}
+}
+
+func TestUniformRandomRootNearOrigin(t *testing.T) {
+	u := UniformRandom(50, 60, 40, 9)
+	if u.N() != 50 {
+		t.Fatal("wrong node count")
+	}
+	r := u.Positions[u.Root]
+	for i, p := range u.Positions {
+		if i == u.Root {
+			continue
+		}
+		if p.X*p.X+p.Y*p.Y < r.X*r.X+r.Y*r.Y {
+			t.Fatalf("node %d closer to origin than root", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := TutorNet(3)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Topology
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*m, got) {
+		t.Fatal("JSON round trip mismatch")
+	}
+}
+
+func TestMirageDensitySupportsMultihop(t *testing.T) {
+	// Sanity-check the geometry against the radio range: at 0 dBm (~40 m
+	// reliable range) the far corner must be out of direct reach of the
+	// root (multi-hop needed), while every node has a neighbor well within
+	// reliable range (network connected even at reduced power).
+	m := Mirage(1)
+	const reliableRange = 40.0
+	far := 0.0
+	for i := 1; i < m.N(); i++ {
+		if d := m.Distance(0, i); d > far {
+			far = d
+		}
+		nearest := math.Inf(1)
+		for j := 0; j < m.N(); j++ {
+			if j == i {
+				continue
+			}
+			if d := m.Distance(i, j); d < nearest {
+				nearest = d
+			}
+		}
+		if nearest > reliableRange/3 {
+			t.Fatalf("node %d isolated: nearest neighbor %.1f m", i, nearest)
+		}
+	}
+	if far < reliableRange*1.2 {
+		t.Fatalf("network diameter %.1f m too small for multihop", far)
+	}
+}

@@ -1,0 +1,227 @@
+// Package trace records and replays per-link reception behaviour,
+// implementing the trace-driven simulation mode: a Recorder taps the medium
+// and produces windowed PRR/LQI time series per directed link (the raw
+// material of the paper's Figure 3), and a Replayer turns a recorded link
+// series back into a channel modifier so experiments can be re-run against
+// captured link dynamics.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"fourbit/internal/packet"
+	"fourbit/internal/phy"
+	"fourbit/internal/sim"
+)
+
+// Sample is one measurement window of a directed link.
+type Sample struct {
+	At      sim.Time // window end
+	Sent    int      // broadcast frames the transmitter put on air
+	Rcvd    int      // of those, frames this receiver decoded
+	MeanLQI float64  // mean LQI over received frames (0 if none)
+}
+
+// PRR returns the window's packet reception ratio (NaN-free: 0 when the
+// sender was silent).
+func (s Sample) PRR() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Rcvd) / float64(s.Sent)
+}
+
+// LinkTrace is the time series of one directed link.
+type LinkTrace struct {
+	From, To int
+	Samples  []Sample
+}
+
+// Trace is a set of recorded link series.
+type Trace struct {
+	Name   string
+	Window sim.Time
+	Links  []LinkTrace
+}
+
+// Link returns the series for the directed link (from, to), or nil.
+func (t *Trace) Link(from, to int) *LinkTrace {
+	for i := range t.Links {
+		if t.Links[i].From == from && t.Links[i].To == to {
+			return &t.Links[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// ReadJSON deserializes a trace.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &t, nil
+}
+
+// Recorder taps a medium and accumulates windowed per-link broadcast
+// reception statistics. Only broadcast (beacon) frames are counted: they
+// reach every in-range receiver, so sent-counts are comparable across
+// links; unicast sent-counts would only be meaningful for the addressee.
+type Recorder struct {
+	clock  *sim.Simulator
+	window sim.Time
+	name   string
+
+	links map[linkKey]*linkAcc
+	sent  []int // broadcast frames per transmitter in the current window
+	prev  []int // carried totals at window roll
+}
+
+type linkKey struct{ from, to int }
+
+type linkAcc struct {
+	rcvd   int
+	lqiSum float64
+	series LinkTrace
+}
+
+// NewRecorder attaches a recorder to the medium, sampling every window.
+func NewRecorder(clock *sim.Simulator, m *phy.Medium, window sim.Time, name string) *Recorder {
+	r := &Recorder{
+		clock:  clock,
+		window: window,
+		name:   name,
+		links:  make(map[linkKey]*linkAcc),
+		sent:   make([]int, m.N()),
+	}
+	m.OnTransmit(func(from int, data []byte) {
+		f, err := packet.DecodeFrame(data)
+		if err != nil || f.Dst != packet.Broadcast {
+			return
+		}
+		r.sent[from]++
+	})
+	for i := 0; i < m.N(); i++ {
+		to := i
+		m.Radio(i).OnSnoop(func(data []byte, info phy.RxInfo) {
+			f, err := packet.DecodeFrame(data)
+			if err != nil || f.Dst != packet.Broadcast {
+				return
+			}
+			r.note(int(f.Src), to, info)
+		})
+	}
+	clock.Every(window, window, r.roll)
+	return r
+}
+
+func (r *Recorder) note(from, to int, info phy.RxInfo) {
+	k := linkKey{from, to}
+	acc := r.links[k]
+	if acc == nil {
+		acc = &linkAcc{series: LinkTrace{From: from, To: to}}
+		r.links[k] = acc
+	}
+	acc.rcvd++
+	acc.lqiSum += float64(info.LQI)
+}
+
+// roll closes the current window into samples on every observed link.
+func (r *Recorder) roll() {
+	now := r.clock.Now()
+	sentDelta := make([]int, len(r.sent))
+	if r.prev == nil {
+		r.prev = make([]int, len(r.sent))
+	}
+	for i := range r.sent {
+		sentDelta[i] = r.sent[i] - r.prev[i]
+		r.prev[i] = r.sent[i]
+	}
+	for k, acc := range r.links {
+		sent := sentDelta[k.from]
+		if sent == 0 && acc.rcvd == 0 {
+			continue
+		}
+		s := Sample{At: now, Sent: sent, Rcvd: acc.rcvd}
+		if acc.rcvd > 0 {
+			s.MeanLQI = acc.lqiSum / float64(acc.rcvd)
+		}
+		acc.series.Samples = append(acc.series.Samples, s)
+		acc.rcvd = 0
+		acc.lqiSum = 0
+	}
+}
+
+// Finalize closes the pending window and returns the assembled trace.
+func (r *Recorder) Finalize() *Trace {
+	r.roll()
+	t := &Trace{Name: r.name, Window: r.window}
+	for _, acc := range r.links {
+		if len(acc.series.Samples) > 0 {
+			t.Links = append(t.Links, acc.series)
+		}
+	}
+	return t
+}
+
+// ErrEmptyTrace reports a replay request over an empty series.
+var ErrEmptyTrace = errors.New("trace: empty link trace")
+
+// Replayer drives a directed link from a recorded PRR series: at each
+// packet it looks up the window covering the current time and draws the
+// packet's fate from the recorded reception ratio, imposing either no loss
+// or a killing attenuation. It implements phy.LinkModifier.
+type Replayer struct {
+	lt     *LinkTrace
+	window sim.Time
+	rng    *sim.Rand
+	// KillLossDB is the attenuation applied to packets the trace says are
+	// lost; large enough that reception is impossible.
+	KillLossDB float64
+}
+
+// NewReplayer builds a modifier replaying lt (recorded with the given
+// window length).
+func NewReplayer(lt *LinkTrace, window sim.Time, rng *sim.Rand) (*Replayer, error) {
+	if lt == nil || len(lt.Samples) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	return &Replayer{lt: lt, window: window, rng: rng, KillLossDB: 80}, nil
+}
+
+// ExtraLossDB implements phy.LinkModifier.
+func (rp *Replayer) ExtraLossDB(t sim.Time) float64 {
+	prr := rp.prrAt(t)
+	if rp.rng.Bernoulli(prr) {
+		return 0
+	}
+	return rp.KillLossDB
+}
+
+func (rp *Replayer) prrAt(t sim.Time) float64 {
+	samples := rp.lt.Samples
+	// Samples are stamped at window end; find the first window containing t.
+	for _, s := range samples {
+		if t < s.At {
+			if s.Sent == 0 {
+				return 1 // silence is not evidence of loss
+			}
+			return s.PRR()
+		}
+	}
+	last := samples[len(samples)-1]
+	if last.Sent == 0 {
+		return 1
+	}
+	return last.PRR()
+}
