@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet tier1 bench bench-smoke clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# tier1 is the gate every PR must keep green.
+tier1: build test
+
+# bench runs vet + tier-1 + a one-iteration bench smoke and snapshots the
+# results (with metadata) into BENCH_<date>.json for cross-PR perf diffs.
+bench:
+	./scripts/bench.sh
+
+# bench-smoke: just the one-iteration bench pass, no snapshot.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+
+# BENCH_*.json snapshots are committed perf history — clean leaves them.
+clean:
+	$(GO) clean ./...

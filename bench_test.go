@@ -56,13 +56,25 @@ func BenchmarkFig3LQIBlindspot(b *testing.B) {
 }
 
 // BenchmarkFig6DesignSpace regenerates Figure 6: the five estimator
-// variants (CTP, +unidir, +white, 4B, MultiHopLQI) on Mirage.
+// variants (CTP, +unidir, +white, 4B, MultiHopLQI) on Mirage, on the
+// default worker pool (one worker per CPU).
 func BenchmarkFig6DesignSpace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiment.RunFig6(1, benchMinutes)
 		for _, res := range r.Runs {
 			reportRun(b, res, res.Protocol.String()+"_")
 		}
+	}
+}
+
+// BenchmarkFig6DesignSpaceSerial is the same batch forced through one
+// worker — the scheduler-scaling baseline. The ratio of this bench to
+// BenchmarkFig6DesignSpace is the wall-clock speedup the pool delivers on
+// this machine (the results themselves are identical; see
+// TestRunAllMatchesSerial).
+func BenchmarkFig6DesignSpaceSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.RunFig6Workers(1, benchMinutes, 1)
 	}
 }
 

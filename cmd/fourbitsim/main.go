@@ -2,15 +2,19 @@
 // regenerates one figure (or the headline table) of "Four-Bit Wireless Link
 // Estimation" (HotNets 2007); see DESIGN.md for the experiment index.
 //
+// The independent runs behind a figure execute on a worker pool sized by
+// -workers (default: all CPUs); results are identical for every pool size.
+//
 // Usage:
 //
-//	fourbitsim fig2     [-seed N] [-minutes M]
-//	fourbitsim fig3     [-seed N] [-hours H] [-from H] [-until H]
-//	fourbitsim fig6     [-seed N] [-minutes M]
-//	fourbitsim fig7     [-seed N] [-minutes M]
-//	fourbitsim fig8     [-seed N] [-minutes M]
-//	fourbitsim headline [-seed N] [-minutes M]
-//	fourbitsim all      [-seed N] [-minutes M]
+//	fourbitsim fig2      [-seed N] [-minutes M] [-workers W]
+//	fourbitsim fig3      [-seed N] [-hours H] [-from H] [-until H]
+//	fourbitsim fig6      [-seed N] [-minutes M] [-workers W]
+//	fourbitsim fig7      [-seed N] [-minutes M] [-workers W]
+//	fourbitsim fig8      [-seed N] [-minutes M] [-workers W]
+//	fourbitsim headline  [-seed N] [-minutes M] [-workers W]
+//	fourbitsim replicate [-seed N] [-minutes M] [-workers W] [-proto P] [-power dBm] [-seeds K]
+//	fourbitsim all       [-seed N] [-minutes M] [-workers W]
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"fourbit/internal/experiment"
 	"fourbit/internal/sim"
+	"fourbit/internal/topo"
 )
 
 func main() {
@@ -34,6 +39,10 @@ func main() {
 	hours := fs.Float64("hours", 12, "fig3: simulated duration (hours)")
 	from := fs.Float64("from", 4, "fig3: degradation start (hours)")
 	until := fs.Float64("until", 6, "fig3: degradation end (hours)")
+	workers := fs.Int("workers", experiment.DefaultWorkers(), "parallel runs (<2 = serial)")
+	proto := fs.String("proto", "4B", "replicate: protocol under test")
+	power := fs.Float64("power", 0, "replicate: transmit power (dBm)")
+	nSeeds := fs.Int("seeds", 5, "replicate: number of independent seeds")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -41,7 +50,7 @@ func main() {
 
 	switch cmd {
 	case "fig2":
-		experiment.RunFig2(*seed, dur).Fprint(os.Stdout)
+		experiment.RunFig2Workers(*seed, dur, *workers).Fprint(os.Stdout)
 	case "fig3":
 		cfg := experiment.DefaultFig3Config(*seed)
 		cfg.Duration = sim.FromSeconds(*hours * 3600)
@@ -49,24 +58,34 @@ func main() {
 		cfg.DegradeUntil = sim.FromSeconds(*until * 3600)
 		experiment.RunFig3(cfg).Fprint(os.Stdout)
 	case "fig6":
-		experiment.RunFig6(*seed, dur).Fprint(os.Stdout)
+		experiment.RunFig6Workers(*seed, dur, *workers).Fprint(os.Stdout)
 	case "fig7":
-		experiment.RunPowerSweep(*seed, dur).FprintFig7(os.Stdout)
+		experiment.RunPowerSweepWorkers(*seed, dur, *workers).FprintFig7(os.Stdout)
 	case "fig8":
-		experiment.RunPowerSweep(*seed, dur).FprintFig8(os.Stdout)
+		experiment.RunPowerSweepWorkers(*seed, dur, *workers).FprintFig8(os.Stdout)
 	case "headline":
-		experiment.RunHeadline(*seed, dur).Fprint(os.Stdout)
+		experiment.RunHeadlineWorkers(*seed, dur, *workers).Fprint(os.Stdout)
+	case "replicate":
+		p, err := experiment.ParseProtocol(*proto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rc := experiment.DefaultRunConfig(p, topo.Mirage(*seed), *seed)
+		rc.TxPowerDBm = *power
+		rc.Duration = dur
+		experiment.ReplicateWorkers(rc, *nSeeds, *workers).Fprint(os.Stdout)
 	case "all":
-		experiment.RunFig2(*seed, dur).Fprint(os.Stdout)
+		experiment.RunFig2Workers(*seed, dur, *workers).Fprint(os.Stdout)
 		fmt.Println()
-		experiment.RunFig6(*seed, dur).Fprint(os.Stdout)
+		experiment.RunFig6Workers(*seed, dur, *workers).Fprint(os.Stdout)
 		fmt.Println()
-		sweep := experiment.RunPowerSweep(*seed, dur)
+		sweep := experiment.RunPowerSweepWorkers(*seed, dur, *workers)
 		sweep.FprintFig7(os.Stdout)
 		fmt.Println()
 		sweep.FprintFig8(os.Stdout)
 		fmt.Println()
-		experiment.RunHeadline(*seed, dur).Fprint(os.Stdout)
+		experiment.RunHeadlineWorkers(*seed, dur, *workers).Fprint(os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
@@ -83,5 +102,6 @@ subcommands:
   fig7      power sweep 0/-10/-20 dBm: cost & depth, 4B vs MultiHopLQI
   fig8      power sweep: per-node delivery boxplots
   headline  4B vs MultiHopLQI on Mirage and TutorNet
+  replicate one protocol across K independent seeds, with mean ± stddev
   all       everything except fig3`)
 }

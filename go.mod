@@ -1,0 +1,3 @@
+module fourbit
+
+go 1.21

@@ -81,8 +81,13 @@ type Stats struct {
 // Deliver is the root's upward delivery callback.
 type Deliver func(origin packet.Addr, originSeq uint8, thl uint8, data []byte)
 
-// routeEntry is what we know about a neighbor's advertised route.
+// routeEntry is what we know about a neighbor's advertised route. Entries
+// live in a dense array indexed by neighbor address (addresses are small
+// integers); known marks occupied slots. The array layout keeps parent
+// selection — which runs on every beacon and every data transmission —
+// free of map hashing.
 type routeEntry struct {
+	known     bool
 	cost      float64 // advertised path ETX
 	parent    packet.Addr
 	lastHeard sim.Time
@@ -106,13 +111,15 @@ type Node struct {
 	deliver Deliver
 
 	// Routing engine state.
-	routes        map[packet.Addr]*routeEntry
+	routes        []routeEntry  // dense, indexed by neighbor address
+	routeAddrs    []packet.Addr // occupied slots, in first-heard order
 	parent        packet.Addr
 	cost          float64
 	interval      sim.Time
 	beacon        *sim.Timer
 	started       bool
 	lastLoopReset sim.Time
+	leBuf         packet.LEFrame // scratch for beacon decoding
 
 	// Forwarding engine state.
 	queue     []*packet.CTPData
@@ -136,7 +143,6 @@ func New(clock *sim.Simulator, m *mac.MAC, est *core.Estimator, isRoot bool, cfg
 		self:   m.Addr(),
 		isRoot: isRoot,
 		rng:    rng,
-		routes: make(map[packet.Addr]*routeEntry),
 		parent: packet.None,
 		cost:   noCost,
 		dup:    newDupCache(cfg.DupCacheSize),

@@ -9,10 +9,11 @@ import (
 
 // onBeaconFrame runs a received routing beacon through the link estimator
 // (layer 2.5: sequence accounting, white/compare admission) and then
-// processes the inner routing frame.
+// processes the inner routing frame. The LE envelope decodes into a
+// node-owned scratch frame — nothing downstream retains it.
 func (n *Node) onBeaconFrame(f *packet.Frame, info phy.RxInfo) {
-	le, err := packet.DecodeLEFrame(f.Payload)
-	if err != nil {
+	le := &n.leBuf
+	if err := packet.DecodeLEFrameInto(le, f.Payload); err != nil {
 		return
 	}
 	meta := core.RxMeta{White: info.White, LQI: info.LQI, SNRdB: info.SNRdB}
@@ -32,7 +33,8 @@ func (n *Node) handleBeacon(src packet.Addr, cb *packet.CTPBeacon) {
 	if cb.ETX != invalidETX {
 		cost = float64(cb.ETX) / 10
 	}
-	n.routes[src] = &routeEntry{cost: cost, parent: cb.Parent, lastHeard: n.clock.Now()}
+	e := n.routeFor(src)
+	e.cost, e.parent, e.lastHeard = cost, cb.Parent, n.clock.Now()
 	// A pull-flagged beacon asks route-holding neighbors to beacon soon.
 	if cb.Options&packet.CTPOptPull != 0 && n.hasRoute() {
 		n.trickleReset()
@@ -42,10 +44,34 @@ func (n *Node) handleBeacon(src packet.Addr, cb *packet.CTPBeacon) {
 
 func (n *Node) hasRoute() bool { return n.isRoot || n.parent != packet.None }
 
+// routeFor returns the route slot for a, growing the dense table and
+// registering the address on first contact.
+func (n *Node) routeFor(a packet.Addr) *routeEntry {
+	if int(a) >= len(n.routes) {
+		grown := make([]routeEntry, int(a)+1)
+		copy(grown, n.routes)
+		n.routes = grown
+	}
+	e := &n.routes[a]
+	if !e.known {
+		e.known = true
+		n.routeAddrs = append(n.routeAddrs, a)
+	}
+	return e
+}
+
+// route returns the route slot for a, or nil if we never heard it beacon.
+func (n *Node) route(a packet.Addr) *routeEntry {
+	if int(a) < len(n.routes) && n.routes[a].known {
+		return &n.routes[a]
+	}
+	return nil
+}
+
 // totalCost returns the path ETX through neighbor a: its advertised cost
 // plus our link's estimated ETX. ok is false when either half is unknown.
 func (n *Node) totalCost(a packet.Addr) (float64, bool) {
-	r := n.routes[a]
+	r := n.route(a)
 	if r == nil || r.cost == noCost {
 		return 0, false
 	}
@@ -66,8 +92,8 @@ func (n *Node) updateRoute() {
 	}
 	best := packet.None
 	bestTotal := noCost
-	for a, r := range n.routes {
-		if r.parent == n.self {
+	for _, a := range n.routeAddrs {
+		if n.routes[a].parent == n.self {
 			continue // our own child; choosing it would loop
 		}
 		total, ok := n.totalCost(a)
@@ -202,7 +228,8 @@ func (n *Node) CompareBit(src packet.Addr, netPayload []byte) bool {
 	// newcomer could never change routing, so evicting for it would be
 	// pure table churn.
 	optimistic := senderCost + 1 + n.cfg.ParentSwitchThreshold
-	for _, a := range n.est.Neighbors() {
+	for _, e := range n.est.Table().Entries() {
+		a := e.Addr
 		if a == n.parent {
 			continue
 		}

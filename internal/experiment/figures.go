@@ -22,15 +22,22 @@ type Fig2Result struct {
 	Runs []*Result // CTP, MultiHopLQI, CTP-unlimited
 }
 
-// RunFig2 executes the three Figure 2 runs.
+// RunFig2 executes the three Figure 2 runs on the default worker pool.
 func RunFig2(seed uint64, duration sim.Time) *Fig2Result {
+	return RunFig2Workers(seed, duration, DefaultWorkers())
+}
+
+// RunFig2Workers is RunFig2 on an explicit worker count.
+func RunFig2Workers(seed uint64, duration sim.Time, workers int) *Fig2Result {
 	tp := topo.Mirage(seed)
 	out := &Fig2Result{Topo: tp}
+	var rcs []RunConfig
 	for _, p := range []Protocol{ProtoCTP, ProtoMultiHopLQI, ProtoCTPUnlimited} {
 		rc := DefaultRunConfig(p, tp, seed)
 		rc.Duration = duration
-		out.Runs = append(out.Runs, Run(rc))
+		rcs = append(rcs, rc)
 	}
+	out.Runs = RunAllWorkers(rcs, workers)
 	return out
 }
 
@@ -63,15 +70,22 @@ type Fig6Result struct {
 	Runs []*Result
 }
 
-// RunFig6 executes the five Figure 6 runs.
+// RunFig6 executes the five Figure 6 runs on the default worker pool.
 func RunFig6(seed uint64, duration sim.Time) *Fig6Result {
+	return RunFig6Workers(seed, duration, DefaultWorkers())
+}
+
+// RunFig6Workers is RunFig6 on an explicit worker count.
+func RunFig6Workers(seed uint64, duration sim.Time, workers int) *Fig6Result {
 	tp := topo.Mirage(seed)
 	out := &Fig6Result{Topo: tp}
+	var rcs []RunConfig
 	for _, p := range []Protocol{ProtoCTP, ProtoCTPUnidir, ProtoCTPWhite, Proto4B, ProtoMultiHopLQI} {
 		rc := DefaultRunConfig(p, tp, seed)
 		rc.Duration = duration
-		out.Runs = append(out.Runs, Run(rc))
+		rcs = append(rcs, rc)
 	}
+	out.Runs = RunAllWorkers(rcs, workers)
 	return out
 }
 
@@ -117,20 +131,29 @@ type PowerSweepResult struct {
 	LQI    []*Result // MultiHopLQI, by power
 }
 
-// RunPowerSweep executes the shared Figure 7/8 runs.
+// RunPowerSweep executes the shared Figure 7/8 runs on the default worker
+// pool.
 func RunPowerSweep(seed uint64, duration sim.Time) *PowerSweepResult {
+	return RunPowerSweepWorkers(seed, duration, DefaultWorkers())
+}
+
+// RunPowerSweepWorkers is RunPowerSweep on an explicit worker count.
+func RunPowerSweepWorkers(seed uint64, duration sim.Time, workers int) *PowerSweepResult {
 	tp := topo.Mirage(seed)
 	out := &PowerSweepResult{Topo: tp, Powers: []float64{0, -10, -20}}
+	var rcs []RunConfig
 	for _, pw := range out.Powers {
-		rcFB := DefaultRunConfig(Proto4B, tp, seed)
-		rcFB.TxPowerDBm = pw
-		rcFB.Duration = duration
-		out.FB = append(out.FB, Run(rcFB))
-
-		rcLQI := DefaultRunConfig(ProtoMultiHopLQI, tp, seed)
-		rcLQI.TxPowerDBm = pw
-		rcLQI.Duration = duration
-		out.LQI = append(out.LQI, Run(rcLQI))
+		for _, p := range []Protocol{Proto4B, ProtoMultiHopLQI} {
+			rc := DefaultRunConfig(p, tp, seed)
+			rc.TxPowerDBm = pw
+			rc.Duration = duration
+			rcs = append(rcs, rc)
+		}
+	}
+	runs := RunAllWorkers(rcs, workers)
+	for i := range out.Powers {
+		out.FB = append(out.FB, runs[2*i])
+		out.LQI = append(out.LQI, runs[2*i+1])
 	}
 	return out
 }
@@ -182,17 +205,28 @@ type HeadlineResult struct {
 	LQI      []*Result
 }
 
-// RunHeadline executes 4B and MultiHopLQI on both testbeds.
+// RunHeadline executes 4B and MultiHopLQI on both testbeds on the default
+// worker pool.
 func RunHeadline(seed uint64, duration sim.Time) *HeadlineResult {
+	return RunHeadlineWorkers(seed, duration, DefaultWorkers())
+}
+
+// RunHeadlineWorkers is RunHeadline on an explicit worker count.
+func RunHeadlineWorkers(seed uint64, duration sim.Time, workers int) *HeadlineResult {
 	out := &HeadlineResult{}
+	var rcs []RunConfig
 	for _, tb := range []*topo.Topology{topo.Mirage(seed), topo.TutorNet(seed)} {
 		out.Testbeds = append(out.Testbeds, tb.Name)
-		rcFB := DefaultRunConfig(Proto4B, tb, seed)
-		rcFB.Duration = duration
-		out.FB = append(out.FB, Run(rcFB))
-		rcLQI := DefaultRunConfig(ProtoMultiHopLQI, tb, seed)
-		rcLQI.Duration = duration
-		out.LQI = append(out.LQI, Run(rcLQI))
+		for _, p := range []Protocol{Proto4B, ProtoMultiHopLQI} {
+			rc := DefaultRunConfig(p, tb, seed)
+			rc.Duration = duration
+			rcs = append(rcs, rc)
+		}
+	}
+	runs := RunAllWorkers(rcs, workers)
+	for i := range out.Testbeds {
+		out.FB = append(out.FB, runs[2*i])
+		out.LQI = append(out.LQI, runs[2*i+1])
 	}
 	return out
 }

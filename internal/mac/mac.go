@@ -75,7 +75,10 @@ var ErrBusy = errors.New("mac: transmission in progress")
 
 // Receiver is the upper-layer frame sink. Frames addressed to this node or
 // broadcast are delivered with their physical-layer metadata (including the
-// white bit).
+// white bit). The frame (and its payload, which aliases the sender's
+// encoded bytes) is valid only for the duration of the callback and must be
+// treated as immutable; layers that need the payload bytes later may retain
+// the slice (the backing array is never rewritten) but not the Frame.
 type Receiver func(f *packet.Frame, info phy.RxInfo)
 
 // MAC is one node's link layer.
@@ -87,8 +90,9 @@ type MAC struct {
 	rng   *sim.Rand
 	recv  Receiver
 
-	dsn uint8
-	cur *txOp
+	dsn     uint8
+	cur     *txOp
+	rxFrame packet.Frame // scratch for the receive path; see onRadioReceive
 
 	Stats Stats
 }
@@ -196,8 +200,17 @@ func (m *MAC) finish(op *txOp, res TxResult) {
 }
 
 func (m *MAC) onRadioReceive(data []byte, info phy.RxInfo) {
-	f, err := packet.DecodeFrame(data)
-	if err != nil {
+	// In a dense network most receptions are overheard traffic addressed to
+	// someone else; peek the destination and drop those before paying for
+	// CRC validation and a decode. (The medium delivers frames intact, so
+	// skipping validation here cannot mask corruption.)
+	if dst, ok := packet.FrameDst(data); ok && dst != m.addr && dst != packet.Broadcast {
+		return
+	}
+	// Decode into the MAC-owned scratch frame: receivers get a *Frame that
+	// is valid only for the duration of the upcall (see Receiver).
+	f := &m.rxFrame
+	if err := packet.DecodeFrameInto(f, data); err != nil {
 		m.Stats.DecodeErr++
 		return
 	}

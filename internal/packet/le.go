@@ -57,21 +57,40 @@ func (l *LEFrame) Encode() ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeLEFrame parses an LE envelope.
+// DecodeLEFrame parses an LE envelope. The payload is copied; the result
+// does not alias data.
 func DecodeLEFrame(data []byte) (*LEFrame, error) {
-	if len(data) < leHeaderLen {
-		return nil, ErrShortHeader
+	l := &LEFrame{}
+	if err := DecodeLEFrameInto(l, data); err != nil {
+		return nil, err
 	}
-	l := &LEFrame{Seq: binary.BigEndian.Uint16(data[0:])}
+	if len(l.NetPayload) > 0 {
+		p := make([]byte, len(l.NetPayload))
+		copy(p, l.NetPayload)
+		l.NetPayload = p
+	}
+	return l, nil
+}
+
+// DecodeLEFrameInto parses an LE envelope into l, reusing l's Entries
+// backing array and aliasing data for NetPayload — the zero-allocation
+// decoder for the beacon receive path. The caller must treat NetPayload as
+// immutable and must not retain it past data's lifetime.
+func DecodeLEFrameInto(l *LEFrame, data []byte) error {
+	if len(data) < leHeaderLen {
+		return ErrShortHeader
+	}
 	n := int(data[2])
 	netLen := int(data[3])
 	if len(data) != leHeaderLen+netLen+n*linkEntryLen {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
+	l.Seq = binary.BigEndian.Uint16(data[0:])
+	l.NetPayload = nil
 	if netLen > 0 {
-		l.NetPayload = make([]byte, netLen)
-		copy(l.NetPayload, data[leHeaderLen:leHeaderLen+netLen])
+		l.NetPayload = data[leHeaderLen : leHeaderLen+netLen]
 	}
+	l.Entries = l.Entries[:0]
 	off := leHeaderLen + netLen
 	for i := 0; i < n; i++ {
 		l.Entries = append(l.Entries, LinkEntry{
@@ -80,5 +99,5 @@ func DecodeLEFrame(data []byte) (*LEFrame, error) {
 		})
 		off += linkEntryLen
 	}
-	return l, nil
+	return nil
 }

@@ -113,16 +113,34 @@ func (f *Frame) Encode() ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeFrame parses and validates an encoded frame.
+// DecodeFrame parses and validates an encoded frame. The payload is copied;
+// the result does not alias data.
 func DecodeFrame(data []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := DecodeFrameInto(f, data); err != nil {
+		return nil, err
+	}
+	if len(f.Payload) > 0 {
+		p := make([]byte, len(f.Payload))
+		copy(p, f.Payload)
+		f.Payload = p
+	}
+	return f, nil
+}
+
+// DecodeFrameInto parses and validates an encoded frame into f without
+// allocating: f.Payload aliases data, so the caller must treat it as
+// immutable and must not retain it past data's lifetime. This is the MAC
+// receive path's decoder — radios decode every frame they hear.
+func DecodeFrameInto(f *Frame, data []byte) error {
 	if len(data) < FrameHeaderLen+FrameTrailerLen {
-		return nil, ErrShortFrame
+		return ErrShortFrame
 	}
 	wantCRC := binary.BigEndian.Uint16(data[len(data)-FrameTrailerLen:])
 	if CRC16(data[:len(data)-FrameTrailerLen]) != wantCRC {
-		return nil, ErrBadCRC
+		return ErrBadCRC
 	}
-	f := &Frame{
+	*f = Frame{
 		Type:       FrameType(data[0]),
 		AckRequest: data[1]&flagAckRequest != 0,
 		Seq:        data[2],
@@ -132,18 +150,28 @@ func DecodeFrame(data []byte) (*Frame, error) {
 	switch f.Type {
 	case TypeData, TypeAck, TypeBeacon:
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadType, data[0])
+		return fmt.Errorf("%w: %d", ErrBadType, data[0])
 	}
 	plen := int(binary.BigEndian.Uint16(data[7:]))
 	if FrameHeaderLen+plen+FrameTrailerLen != len(data) {
-		return nil, fmt.Errorf("%w: header says %d, frame holds %d",
+		return fmt.Errorf("%w: header says %d, frame holds %d",
 			ErrBadLength, plen, len(data)-FrameHeaderLen-FrameTrailerLen)
 	}
 	if plen > 0 {
-		f.Payload = make([]byte, plen)
-		copy(f.Payload, data[FrameHeaderLen:FrameHeaderLen+plen])
+		f.Payload = data[FrameHeaderLen : FrameHeaderLen+plen]
 	}
-	return f, nil
+	return nil
+}
+
+// FrameDst peeks the destination address of an encoded frame without
+// validating it. ok is false when data is too short to be any frame.
+// Receivers use this to discard overheard traffic addressed elsewhere
+// before paying for CRC validation and a full decode.
+func FrameDst(data []byte) (dst Addr, ok bool) {
+	if len(data) < FrameHeaderLen+FrameTrailerLen {
+		return 0, false
+	}
+	return Addr(binary.BigEndian.Uint16(data[5:])), true
 }
 
 // NewAck builds the acknowledgment frame for a received frame.
@@ -151,18 +179,28 @@ func NewAck(of *Frame, acker Addr) *Frame {
 	return &Frame{Type: TypeAck, Seq: of.Seq, Src: acker, Dst: of.Src}
 }
 
-// CRC16 computes CRC-16/CCITT (polynomial 0x1021, init 0xFFFF) over data.
-func CRC16(data []byte) uint16 {
-	crc := uint16(0xFFFF)
-	for _, b := range data {
-		crc ^= uint16(b) << 8
-		for i := 0; i < 8; i++ {
+// crc16Table is the byte-at-a-time lookup table for CRC-16/CCITT
+// (polynomial 0x1021). Entry i is the CRC state transition for input byte i.
+var crc16Table = func() (t [256]uint16) {
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
 			if crc&0x8000 != 0 {
 				crc = crc<<1 ^ 0x1021
 			} else {
 				crc <<= 1
 			}
 		}
+		t[i] = crc
+	}
+	return t
+}()
+
+// CRC16 computes CRC-16/CCITT (polynomial 0x1021, init 0xFFFF) over data.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
 	}
 	return crc
 }

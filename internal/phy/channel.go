@@ -98,6 +98,12 @@ type Channel struct {
 	bursts       []*GilbertElliott // per-node noise bursts (nil if disabled)
 	modifiers    []LinkModifier
 
+	// Linear-domain mirrors of the static model, precomputed once so the
+	// per-frame path (GainLin, NoiseMW) converts only the time-varying dB
+	// terms.
+	staticGainLin []float64 // n*n: 10^(staticGainDB/10)
+	noiseMWStatic []float64 // per node: floor + noise figure in milliwatts
+
 	noiseRng *sim.Rand
 	fadeRng  *sim.Rand
 }
@@ -151,6 +157,14 @@ func NewChannel(dist [][]float64, extraLossDB [][]float64, p Params, seeds *sim.
 			c.staticGainDB[j*n+i] = -pl + txOff[j]
 		}
 	}
+	c.staticGainLin = make([]float64, n*n)
+	for i, g := range c.staticGainDB {
+		c.staticGainLin[i] = DBToLinear(g)
+	}
+	c.noiseMWStatic = make([]float64, n)
+	for i := 0; i < n; i++ {
+		c.noiseMWStatic[i] = DBmToMilliwatts(p.NoiseFloorDBm + c.noiseFigDB[i])
+	}
 	return c
 }
 
@@ -172,6 +186,26 @@ func (c *Channel) GainDB(tx, rx int, t sim.Time) float64 {
 	}
 	if m := c.modifiers[tx*c.n+rx]; m != nil {
 		g -= m.ExtraLossDB(t)
+	}
+	return g
+}
+
+// GainLin is GainDB in linear power ratio, organized so the precomputed
+// static gain costs nothing and only the time-varying dB terms (fading,
+// modifiers) pay one exp. It samples the same fading process in the same
+// order as GainDB, so the two are interchangeable without perturbing the
+// random streams.
+func (c *Channel) GainLin(tx, rx int, t sim.Time) float64 {
+	g := c.staticGainLin[tx*c.n+rx]
+	varDB := 0.0
+	if c.p.FadeSigmaDB > 0 {
+		varDB = c.fadeState(tx, rx).sample(t, c.p.FadeTau, c.p.FadeSigmaDB, c.fadeRng)
+	}
+	if m := c.modifiers[tx*c.n+rx]; m != nil {
+		varDB -= m.ExtraLossDB(t)
+	}
+	if varDB != 0 {
+		g *= DBToLinear(varDB)
 	}
 	return g
 }
@@ -198,6 +232,24 @@ func (c *Channel) NoiseDBm(rx int, t sim.Time) float64 {
 		nz += c.bursts[rx].ExtraLossDB(t)
 	}
 	return nz
+}
+
+// NoiseMW is NoiseDBm in milliwatts: the static floor + noise figure come
+// from a precomputed table and only the drift/burst dB excursion pays a
+// conversion. Sampling order matches NoiseDBm exactly.
+func (c *Channel) NoiseMW(rx int, t sim.Time) float64 {
+	mw := c.noiseMWStatic[rx]
+	varDB := 0.0
+	if c.p.NoiseDriftSigmaDB > 0 {
+		varDB = c.noiseDrift[rx].sample(t, c.p.NoiseDriftTau, c.p.NoiseDriftSigmaDB, c.noiseRng)
+	}
+	if c.bursts != nil {
+		varDB += c.bursts[rx].ExtraLossDB(t)
+	}
+	if varDB != 0 {
+		mw *= DBToLinear(varDB)
+	}
+	return mw
 }
 
 // SetModifier installs (or clears, with nil) a scripted loss process on the

@@ -51,6 +51,17 @@ type Medium struct {
 	active     []*transmission
 	candidates [][]int // per transmitter: receivers within detection range
 
+	// Hot-path caches: the radio parameters converted to linear once, the
+	// running interference sum per receiver (maintained incrementally as
+	// transmissions start and finish instead of rescanning active), and a
+	// free list of per-transmission received-power buffers.
+	captureLin float64
+	detectMW   float64
+	sensMW     float64
+	ccaMW      float64
+	interfMW   []float64
+	powFree    [][]float64
+
 	onTransmit func(from int, data []byte)
 
 	Stats MediumStats
@@ -71,6 +82,7 @@ type transmission struct {
 	data     []byte
 	powerDBm float64
 	end      sim.Time
+	idx      int       // position in Medium.active, for O(1) removal
 	powMW    []float64 // received power per node; 0 = undetectable
 }
 
@@ -92,9 +104,15 @@ func NewMedium(clock *sim.Simulator, ch *Channel, rp RadioParams, lqip LQIParams
 		rng:   seeds.Stream("phy/medium"),
 	}
 	n := ch.N()
+	m.captureLin = DBToLinear(rp.CaptureDB)
+	m.detectMW = DBmToMilliwatts(rp.DetectionDBm)
+	m.sensMW = DBmToMilliwatts(rp.SensitivityDBm)
+	m.ccaMW = DBmToMilliwatts(rp.CCAThresholdDBm)
+	m.interfMW = make([]float64, n)
 	m.radios = make([]*Radio, n)
 	for i := 0; i < n; i++ {
-		m.radios[i] = &Radio{m: m, id: i, txPowerDBm: rp.DefaultTxPowerDBm}
+		m.radios[i] = &Radio{m: m, id: i}
+		m.radios[i].SetTxPower(rp.DefaultTxPowerDBm)
 	}
 	// Candidate receivers: static gain at maximum plausible power plus a
 	// fade margin must clear the detection floor. The margin is generous so
@@ -132,21 +150,23 @@ func (m *Medium) Airtime(payloadBytes int) sim.Time {
 }
 
 func (m *Medium) noiseMW(id int) float64 {
-	return DBmToMilliwatts(m.ch.NoiseDBm(id, m.clock.Now()))
+	return m.ch.NoiseMW(id, m.clock.Now())
 }
 
-// interferenceMWAt sums the power at node id of every active transmission
-// except exclude and except id's own.
-func (m *Medium) interferenceMWAt(id int, exclude *transmission) float64 {
-	var sum float64
-	for _, t := range m.active {
-		if t == exclude || t.from == id {
-			continue
-		}
-		sum += t.powMW[id]
+// getPowBuf returns a zeroed per-transmission received-power buffer, reusing
+// a pooled one when available. finishTx releases buffers back via putPowBuf;
+// no reference to a buffer survives its transmission (receptions of a frame
+// are all resolved inside that frame's finishTx).
+func (m *Medium) getPowBuf() []float64 {
+	if n := len(m.powFree); n > 0 {
+		b := m.powFree[n-1]
+		m.powFree = m.powFree[:n-1]
+		return b
 	}
-	return sum
+	return make([]float64, len(m.radios))
 }
+
+func (m *Medium) putPowBuf(b []float64) { m.powFree = append(m.powFree, b) }
 
 func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 	if r.transmitting {
@@ -164,7 +184,8 @@ func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 		data:     data,
 		powerDBm: r.txPowerDBm,
 		end:      now + air,
-		powMW:    make([]float64, len(m.radios)),
+		idx:      len(m.active),
+		powMW:    m.getPowBuf(),
 	}
 	m.active = append(m.active, t)
 	r.transmitting = true
@@ -174,27 +195,25 @@ func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 		m.onTransmit(r.id, data)
 	}
 
-	captureLin := DBToLinear(m.rp.CaptureDB)
 	for _, j := range m.candidates[r.id] {
-		prxDBm := r.txPowerDBm + m.ch.GainDB(r.id, j, now)
-		if prxDBm < m.rp.DetectionDBm {
+		pmw := r.txPowMW * m.ch.GainLin(r.id, j, now)
+		if pmw < m.detectMW {
 			continue
 		}
-		pmw := DBmToMilliwatts(prxDBm)
 		t.powMW[j] = pmw
+		m.interfMW[j] += pmw
 		rj := m.radios[j]
 		switch {
 		case rj.transmitting:
 			// Busy transmitting; this signal is inaudible to j but was
 			// recorded above as interference for others via t.powMW.
 		case rj.rx != nil:
-			if pmw > rj.rx.powerMW*captureLin && prxDBm >= m.rp.SensitivityDBm {
+			if pmw > rj.rx.powerMW*m.captureLin && pmw >= m.sensMW {
 				// Physical capture: the much stronger new signal steals the
 				// receiver; the old frame is lost and keeps interfering.
 				m.Stats.CaptureSwitches++
 				rj.Stats.DropsCollision++
-				cur := m.interferenceMWAt(j, t)
-				rj.rx = &reception{tx: t, powerMW: pmw, curInterfMW: cur, maxInterfMW: cur}
+				rj.lockOn(t, pmw, m.interfMW[j]-pmw)
 			} else {
 				rj.rx.curInterfMW += pmw
 				if rj.rx.curInterfMW > rj.rx.maxInterfMW {
@@ -202,9 +221,8 @@ func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 				}
 			}
 		default: // idle
-			if prxDBm >= m.rp.SensitivityDBm {
-				cur := m.interferenceMWAt(j, t)
-				rj.rx = &reception{tx: t, powerMW: pmw, curInterfMW: cur, maxInterfMW: cur}
+			if pmw >= m.sensMW {
+				rj.lockOn(t, pmw, m.interfMW[j]-pmw)
 			}
 		}
 	}
@@ -216,12 +234,15 @@ func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 }
 
 func (m *Medium) finishTx(t *transmission) {
-	for i, a := range m.active {
-		if a == t {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
+	// Swap-delete from the active set; t recorded its own position.
+	last := len(m.active) - 1
+	if t.idx != last {
+		moved := m.active[last]
+		m.active[t.idx] = moved
+		moved.idx = t.idx
 	}
+	m.active[last] = nil
+	m.active = m.active[:last]
 	sender := m.radios[t.from]
 	sender.transmitting = false
 
@@ -230,6 +251,11 @@ func (m *Medium) finishTx(t *transmission) {
 		pmw := t.powMW[j]
 		if pmw == 0 {
 			continue
+		}
+		t.powMW[j] = 0
+		m.interfMW[j] -= pmw
+		if m.interfMW[j] < 0 {
+			m.interfMW[j] = 0 // rounding drift from the incremental sum
 		}
 		rj := m.radios[j]
 		rx := rj.rx
@@ -245,7 +271,8 @@ func (m *Medium) finishTx(t *transmission) {
 			continue
 		}
 		rj.rx = nil
-		sinrLin := rx.powerMW / (m.noiseMW(j) + m.rp.InterferenceFactor*rx.maxInterfMW)
+		noise := m.ch.NoiseMW(j, now)
+		sinrLin := rx.powerMW / (noise + m.rp.InterferenceFactor*rx.maxInterfMW)
 		sinrDB := LinearToDB(sinrLin)
 		// Fast per-packet variation (multipath ISI): one draw decides both
 		// the frame's fate and, if it survives, the quality it reports —
@@ -271,7 +298,7 @@ func (m *Medium) finishTx(t *transmission) {
 			if rj.recv != nil {
 				rj.recv(t.data, info)
 			}
-		} else if rx.maxInterfMW > m.noiseMW(j)*0.1 {
+		} else if rx.maxInterfMW > noise*0.1 {
 			m.Stats.DroppedCollision++
 			rj.Stats.DropsCollision++
 		} else {
@@ -279,6 +306,8 @@ func (m *Medium) finishTx(t *transmission) {
 			rj.Stats.DropsBER++
 		}
 	}
+	m.putPowBuf(t.powMW)
+	t.powMW = nil
 }
 
 // Radio is one node's transceiver. MAC layers drive it through Transmit and
@@ -287,12 +316,22 @@ type Radio struct {
 	m            *Medium
 	id           int
 	txPowerDBm   float64
+	txPowMW      float64 // txPowerDBm converted once at SetTxPower
 	transmitting bool
 	rx           *reception
+	rxBuf        reception // storage reused across receptions (rx points here)
 	recv         func(data []byte, info RxInfo)
 	snoop        func(data []byte, info RxInfo)
 
 	Stats RadioStats
+}
+
+// lockOn points the radio's receiver at transmission t, reusing the
+// radio-owned reception buffer (the previous reception, if any, is dead by
+// the time lockOn runs).
+func (r *Radio) lockOn(t *transmission, pmw, interf float64) {
+	r.rxBuf = reception{tx: t, powerMW: pmw, curInterfMW: interf, maxInterfMW: interf}
+	r.rx = &r.rxBuf
 }
 
 // RadioStats count per-radio frame outcomes.
@@ -316,7 +355,10 @@ func (r *Radio) OnReceive(fn func(data []byte, info RxInfo)) { r.recv = fn }
 func (r *Radio) OnSnoop(fn func(data []byte, info RxInfo)) { r.snoop = fn }
 
 // SetTxPower sets the transmit power in dBm for subsequent transmissions.
-func (r *Radio) SetTxPower(dbm float64) { r.txPowerDBm = dbm }
+func (r *Radio) SetTxPower(dbm float64) {
+	r.txPowerDBm = dbm
+	r.txPowMW = DBmToMilliwatts(dbm)
+}
 
 // TxPower returns the configured transmit power in dBm.
 func (r *Radio) TxPower() float64 { return r.txPowerDBm }
@@ -330,13 +372,15 @@ func (r *Radio) Receiving() bool { return r.rx != nil }
 // ChannelClear performs a CC2420-style energy-detect clear channel
 // assessment: the channel is clear when total received energy (noise plus
 // all active signals) is below the CCA threshold and the radio itself is
-// neither transmitting nor locked onto a frame.
+// neither transmitting nor locked onto a frame. The signal energy comes
+// from the incrementally-maintained per-receiver interference sum (a
+// radio's own transmissions never contribute: powMW at the sender is 0),
+// and the comparison happens in the linear domain.
 func (r *Radio) ChannelClear() bool {
 	if r.transmitting || r.rx != nil {
 		return false
 	}
-	energy := r.m.noiseMW(r.id) + r.m.interferenceMWAt(r.id, nil)
-	return MilliwattsToDBm(energy) < r.m.rp.CCAThresholdDBm
+	return r.m.noiseMW(r.id)+r.m.interfMW[r.id] < r.m.ccaMW
 }
 
 // Transmit puts data on the air immediately and returns its airtime. The

@@ -13,8 +13,13 @@ package phy
 
 import "math"
 
+// ln10div10 turns 10^(x/10) into exp(x·ln10/10): one exp instead of the
+// log+exp+special-casing inside math.Pow — the conversion sits on the
+// per-frame path of the medium, where it dominates without this.
+const ln10div10 = math.Ln10 / 10
+
 // DBmToMilliwatts converts dBm to linear milliwatts.
-func DBmToMilliwatts(dbm float64) float64 { return math.Pow(10, dbm/10) }
+func DBmToMilliwatts(dbm float64) float64 { return math.Exp(dbm * ln10div10) }
 
 // MilliwattsToDBm converts linear milliwatts to dBm. Zero or negative power
 // maps to -infinity dBm.
@@ -26,7 +31,7 @@ func MilliwattsToDBm(mw float64) float64 {
 }
 
 // DBToLinear converts a dB ratio to a linear ratio.
-func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+func DBToLinear(db float64) float64 { return math.Exp(db * ln10div10) }
 
 // LinearToDB converts a linear ratio to dB.
 func LinearToDB(lin float64) float64 {

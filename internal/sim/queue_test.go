@@ -1,0 +1,152 @@
+package sim
+
+import "testing"
+
+// Direct coverage of eventQueue.remove: cancelling the head, a middle
+// element, and the tail must each leave a valid heap, exercising both the
+// sift-down and sift-up repair paths.
+
+func queueInvariant(t *testing.T, q *eventQueue) {
+	t.Helper()
+	for i := range q.items {
+		if q.items[i].index != i {
+			t.Fatalf("item at %d carries index %d", i, q.items[i].index)
+		}
+		left, right := 2*i+1, 2*i+2
+		if left < len(q.items) && q.less(left, i) {
+			t.Fatalf("heap violated: child %d < parent %d", left, i)
+		}
+		if right < len(q.items) && q.less(right, i) {
+			t.Fatalf("heap violated: child %d < parent %d", right, i)
+		}
+	}
+}
+
+func fillQueue(times ...Time) *eventQueue {
+	q := &eventQueue{}
+	for i, at := range times {
+		q.push(&Timer{at: at, seq: uint64(i), fn: func() {}})
+	}
+	return q
+}
+
+func drainTimes(q *eventQueue) []Time {
+	var out []Time
+	for q.Len() > 0 {
+		out = append(out, q.pop().at)
+	}
+	return out
+}
+
+func TestQueueRemoveHead(t *testing.T) {
+	q := fillQueue(1, 5, 3, 9, 7)
+	q.remove(0)
+	queueInvariant(t, q)
+	got := drainTimes(q)
+	want := []Time{3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after removing head: drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueRemoveTail(t *testing.T) {
+	q := fillQueue(1, 5, 3, 9, 7)
+	q.remove(q.Len() - 1)
+	queueInvariant(t, q)
+	if q.Len() != 4 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestQueueRemoveMiddleSiftDown(t *testing.T) {
+	// Removing a small element from the middle replaces it with the large
+	// tail element, which must sift down to restore the heap.
+	q := fillQueue(10, 20, 30, 40, 50, 60, 70, 25, 45)
+	var pos int
+	for i, it := range q.items {
+		if it.at == 20 {
+			pos = i
+			break
+		}
+	}
+	q.remove(pos)
+	queueInvariant(t, q)
+	got := drainTimes(q)
+	want := []Time{10, 25, 30, 40, 45, 50, 60, 70}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueRemoveMiddleSiftUp(t *testing.T) {
+	// Construct a heap where the tail element is smaller than the removal
+	// point's parent, forcing the up-repair path in remove.
+	q := &eventQueue{}
+	// Push in an order that yields: items laid out so a deep subtree holds
+	// large values and the last element is small.
+	for i, at := range []Time{10, 100, 20, 110, 120, 30, 40} {
+		q.push(&Timer{at: at, seq: uint64(i), fn: func() {}})
+	}
+	// Append a tiny element as the tail of the big-value subtree.
+	q.push(&Timer{at: 15, seq: 99, fn: func() {}})
+	queueInvariant(t, q)
+	// Remove a leaf under the 100-subtree: the 15 tail replaces it and must
+	// sift UP past 100 toward the root.
+	var pos int
+	for i, it := range q.items {
+		if it.at == 110 {
+			pos = i
+			break
+		}
+	}
+	q.remove(pos)
+	queueInvariant(t, q)
+	got := drainTimes(q)
+	want := []Time{10, 15, 20, 30, 40, 100, 120}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueRemoveOnlyElement(t *testing.T) {
+	q := fillQueue(42)
+	q.remove(0)
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after removing only element", q.Len())
+	}
+	if q.peek() != nil {
+		t.Fatal("peek after emptying should be nil")
+	}
+}
+
+func TestQueueRemoveEveryPosition(t *testing.T) {
+	// Property-style: for each position of a 9-element heap, removal keeps
+	// the invariant and drains sorted without the removed deadline.
+	base := []Time{8, 3, 5, 1, 9, 2, 7, 4, 6}
+	for pos := 0; pos < len(base); pos++ {
+		q := fillQueue(base...)
+		removed := q.items[pos].at
+		q.remove(pos)
+		queueInvariant(t, q)
+		got := drainTimes(q)
+		if len(got) != len(base)-1 {
+			t.Fatalf("pos %d: drained %d items", pos, len(got))
+		}
+		prev := Time(-1)
+		for _, at := range got {
+			if at == removed {
+				t.Fatalf("pos %d: removed deadline %v still present", pos, removed)
+			}
+			if at < prev {
+				t.Fatalf("pos %d: drain out of order: %v", pos, got)
+			}
+			prev = at
+		}
+	}
+}

@@ -9,6 +9,11 @@ import (
 // seed. Stream identity is by name, so adding or removing streams never
 // perturbs the sequences of the others — a property the experiment harness
 // relies on when comparing protocol variants on "the same" channel.
+//
+// A SeedSpace and the streams it hands out are single-goroutine state, like
+// the Simulator they feed. Concurrent simulations each build their own
+// SeedSpace from their own master seed (the experiment runner's per-run
+// isolation); nothing here is shared between runs.
 type SeedSpace struct {
 	master  uint64
 	streams map[string]*Rand

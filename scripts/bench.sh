@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench.sh — the perf gate: go vet, tier-1 tests, then a -benchtime=1x
+# bench smoke over the whole module, snapshotted to BENCH_<date>.json so
+# future PRs have a perf trajectory to diff against.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== tier-1: go build && go test ./..."
+go build ./...
+go test ./...
+
+echo "== bench smoke (-benchtime=1x)"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench . -benchtime 1x -benchmem ./... | tee "$tmp"
+
+# Emit a small JSON document: metadata + one string per benchmark line.
+# Tabs (go test's column separator) become spaces — control characters are
+# invalid inside JSON strings — and backslash/quote are escaped.
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go version | sed 's/[\\"]/\\&/g')"
+	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	printf '  "benchmarks": [\n'
+	grep '^Benchmark' "$tmp" | tr '\t' ' ' | sed 's/[\\"]/\\&/g; s/^/    "/; s/$/",/' | sed '$ s/,$//'
+	printf '  ]\n'
+	printf '}\n'
+} >"$out"
+
+echo "== wrote $out"
