@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet tier1 bench bench-smoke clean
+.PHONY: all build test vet tier1 bench bench-smoke docs lint clean
 
 all: build
 
@@ -15,6 +15,26 @@ vet:
 
 # tier1 is the gate every PR must keep green.
 tier1: build test
+
+# docs checks that every package carries a doc comment for its godoc front
+# page: `// Package <name>` for libraries (internal/* and the root),
+# `// Command <name>` for cmd/*, and any leading doc comment for examples.
+docs:
+	@fail=0; \
+	for d in internal/*/ .; do \
+		grep -qs '^// Package ' $$d/*.go || { echo "missing '// Package' comment in $$d"; fail=1; }; \
+	done; \
+	for d in cmd/*/; do \
+		grep -qs '^// Command ' $$d/*.go || { echo "missing '// Command' comment in $$d"; fail=1; }; \
+	done; \
+	for d in examples/*/; do \
+		head -1 $$d/main.go | grep -qs '^//' || { echo "missing doc comment in $$d"; fail=1; }; \
+	done; \
+	[ $$fail -eq 0 ] && echo "package comments: OK" || exit 1
+
+# lint is the static gate CI runs: formatting, vet, package comments.
+lint: vet docs
+	@test -z "$$(gofmt -l .)" || { echo "gofmt needed:"; gofmt -l .; exit 1; }
 
 # bench runs vet + tier-1 + a one-iteration bench smoke and snapshots the
 # results (with metadata) into BENCH_<date>.json for cross-PR perf diffs.

@@ -1,9 +1,13 @@
-// Command fourbitsim runs the paper's experiments. Each subcommand
-// regenerates one figure (or the headline table) of "Four-Bit Wireless Link
-// Estimation" (HotNets 2007); see DESIGN.md for the experiment index.
+// Command fourbitsim runs the paper's experiments and arbitrary scenario
+// sweeps. The figure subcommands regenerate the measured figures of
+// "Four-Bit Wireless Link Estimation" (HotNets 2007) through their
+// scenario presets; `scenario` and `sweep` run declarative JSON specs (see
+// docs/SCENARIOS.md for the cookbook and DESIGN.md for the experiment
+// index).
 //
-// The independent runs behind a figure execute on a worker pool sized by
-// -workers (default: all CPUs); results are identical for every pool size.
+// The independent runs behind a figure, scenario replication, or sweep
+// execute on a worker pool sized by -workers (default: all CPUs); results
+// are byte-identical for every pool size.
 //
 // Usage:
 //
@@ -14,6 +18,9 @@
 //	fourbitsim fig8      [-seed N] [-minutes M] [-workers W]
 //	fourbitsim headline  [-seed N] [-minutes M] [-workers W]
 //	fourbitsim replicate [-seed N] [-minutes M] [-workers W] [-proto P] [-power dBm] [-seeds K]
+//	fourbitsim scenario  [-preset NAME | -spec FILE | -list] [-seed N] [-workers W]
+//	fourbitsim sweep     [-spec FILE] [-seed N] [-minutes M] [-replicates K]
+//	                     [-csv FILE] [-jsonl FILE] [-workers W]
 //	fourbitsim all       [-seed N] [-minutes M] [-workers W]
 package main
 
@@ -23,6 +30,7 @@ import (
 	"os"
 
 	"fourbit/internal/experiment"
+	"fourbit/internal/scenario"
 	"fourbit/internal/sim"
 	"fourbit/internal/topo"
 )
@@ -34,23 +42,32 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	seed := fs.Uint64("seed", 1, "experiment seed")
+	seed := fs.Uint64("seed", 1, "experiment seed (replicate/sweep seeds derive from it)")
 	minutes := fs.Float64("minutes", 25, "simulated duration per run (minutes)")
 	hours := fs.Float64("hours", 12, "fig3: simulated duration (hours)")
 	from := fs.Float64("from", 4, "fig3: degradation start (hours)")
 	until := fs.Float64("until", 6, "fig3: degradation end (hours)")
 	workers := fs.Int("workers", experiment.DefaultWorkers(), "parallel runs (<2 = serial)")
-	proto := fs.String("proto", "4B", "replicate: protocol under test")
+	proto := fs.String("proto", "4B", "replicate: protocol under test (4B, CTP, CTP+unidir, CTP+white, CTP-unlimited, MultiHopLQI)")
 	power := fs.Float64("power", 0, "replicate: transmit power (dBm)")
 	nSeeds := fs.Int("seeds", 5, "replicate: number of independent seeds")
+	specFile := fs.String("spec", "", "scenario/sweep: JSON spec file (see docs/SCENARIOS.md)")
+	preset := fs.String("preset", "", "scenario: built-in preset name (see -list)")
+	list := fs.Bool("list", false, "scenario: list built-in presets and exit")
+	replicates := fs.Int("replicates", 3, "sweep: seeds per grid cell (overridden by the spec's Replicates)")
+	csvOut := fs.String("csv", "", "sweep: write the result table as CSV to this file ('-' = stdout)")
+	jsonlOut := fs.String("jsonl", "", "sweep: write per-cell JSONL results to this file ('-' = stdout)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	if *minutes <= 0 {
+		fatal(fmt.Errorf("-minutes must be positive, got %g", *minutes))
 	}
 	dur := sim.FromSeconds(*minutes * 60)
 
 	switch cmd {
 	case "fig2":
-		experiment.RunFig2Workers(*seed, dur, *workers).Fprint(os.Stdout)
+		scenario.RunFig2(*seed, *minutes, *workers).Fprint(os.Stdout)
 	case "fig3":
 		cfg := experiment.DefaultFig3Config(*seed)
 		cfg.Duration = sim.FromSeconds(*hours * 3600)
@@ -58,42 +75,173 @@ func main() {
 		cfg.DegradeUntil = sim.FromSeconds(*until * 3600)
 		experiment.RunFig3(cfg).Fprint(os.Stdout)
 	case "fig6":
-		experiment.RunFig6Workers(*seed, dur, *workers).Fprint(os.Stdout)
+		scenario.RunFig6(*seed, *minutes, *workers).Fprint(os.Stdout)
 	case "fig7":
-		experiment.RunPowerSweepWorkers(*seed, dur, *workers).FprintFig7(os.Stdout)
+		scenario.RunPowerSweep(*seed, *minutes, *workers).FprintFig7(os.Stdout)
 	case "fig8":
-		experiment.RunPowerSweepWorkers(*seed, dur, *workers).FprintFig8(os.Stdout)
+		scenario.RunPowerSweep(*seed, *minutes, *workers).FprintFig8(os.Stdout)
 	case "headline":
-		experiment.RunHeadlineWorkers(*seed, dur, *workers).Fprint(os.Stdout)
+		scenario.RunHeadline(*seed, *minutes, *workers).Fprint(os.Stdout)
 	case "replicate":
 		p, err := experiment.ParseProtocol(*proto)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
 		rc := experiment.DefaultRunConfig(p, topo.Mirage(*seed), *seed)
 		rc.TxPowerDBm = *power
 		rc.Duration = dur
 		experiment.ReplicateWorkers(rc, *nSeeds, *workers).Fprint(os.Stdout)
+	case "scenario":
+		runScenario(fs, *specFile, *preset, *list, *seed, *minutes, *replicates, *workers)
+	case "sweep":
+		runSweep(fs, *specFile, *seed, *minutes, *replicates, *csvOut, *jsonlOut, *workers)
 	case "all":
-		experiment.RunFig2Workers(*seed, dur, *workers).Fprint(os.Stdout)
+		scenario.RunFig2(*seed, *minutes, *workers).Fprint(os.Stdout)
 		fmt.Println()
-		experiment.RunFig6Workers(*seed, dur, *workers).Fprint(os.Stdout)
+		scenario.RunFig6(*seed, *minutes, *workers).Fprint(os.Stdout)
 		fmt.Println()
-		sweep := experiment.RunPowerSweepWorkers(*seed, dur, *workers)
+		sweep := scenario.RunPowerSweep(*seed, *minutes, *workers)
 		sweep.FprintFig7(os.Stdout)
 		fmt.Println()
 		sweep.FprintFig8(os.Stdout)
 		fmt.Println()
-		experiment.RunHeadlineWorkers(*seed, dur, *workers).Fprint(os.Stdout)
+		scenario.RunHeadline(*seed, *minutes, *workers).Fprint(os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
 	}
 }
 
+// flagSet reports whether the user passed name explicitly.
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runScenario executes one scenario from a preset or a JSON spec file.
+// Explicit -seed/-minutes/-replicates flags override what the preset or
+// spec file says.
+func runScenario(fs *flag.FlagSet, specFile, preset string, list bool, seed uint64, minutes float64, replicates int, workers int) {
+	if list {
+		fmt.Println("built-in scenario presets:")
+		for _, p := range scenario.Presets() {
+			fmt.Printf("  %-26s %s\n", p.Name, p.Desc)
+		}
+		return
+	}
+	var spec scenario.Spec
+	switch {
+	case specFile != "":
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err = scenario.ParseSpec(data)
+		if err != nil {
+			fatal(err)
+		}
+	case preset != "":
+		p, ok := scenario.Preset(preset)
+		if !ok {
+			fatal(fmt.Errorf("unknown preset %q (use -list)", preset))
+		}
+		spec = p.Spec
+	default:
+		fatal(fmt.Errorf("scenario needs -preset NAME, -spec FILE, or -list"))
+	}
+	if flagSet(fs, "seed") {
+		spec.Seed = seed
+	}
+	if flagSet(fs, "minutes") {
+		spec.DurationMin = minutes
+	}
+	if flagSet(fs, "replicates") {
+		spec.Replicates = replicates
+	}
+	rep, err := spec.Run(workers)
+	if err != nil {
+		fatal(err)
+	}
+	name := spec.Name
+	if name == "" {
+		name = "scenario"
+	}
+	fmt.Printf("%s:\n", name)
+	rep.Fprint(os.Stdout)
+}
+
+// runSweep executes a parameter grid and writes its exports. With a spec
+// file, explicit -seed/-minutes/-replicates flags override the file's base.
+func runSweep(fs *flag.FlagSet, specFile string, seed uint64, minutes float64, replicates int, csvOut, jsonlOut string, workers int) {
+	var sw scenario.Sweep
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			fatal(err)
+		}
+		sw, err = scenario.ParseSweep(data)
+		if err != nil {
+			fatal(err)
+		}
+		if flagSet(fs, "seed") {
+			sw.Base.Seed = seed
+		}
+		if flagSet(fs, "minutes") {
+			sw.Base.DurationMin = minutes
+		}
+		if flagSet(fs, "replicates") {
+			sw.Base.Replicates = replicates
+		}
+	} else {
+		sw = scenario.DefaultSweep(seed, minutes, replicates)
+	}
+	res, err := sw.Run(workers)
+	if err != nil {
+		fatal(err)
+	}
+	res.Fprint(os.Stdout)
+	write := func(path, what string, emit func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		if path == "-" {
+			if err := emit(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		// A close failure (ENOSPC write-back) would silently truncate the
+		// results of a possibly hours-long sweep.
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s to %s\n", what, path)
+	}
+	write(csvOut, "CSV", func(f *os.File) error { return res.WriteCSV(f) })
+	write(jsonlOut, "JSONL", func(f *os.File) error { return res.WriteJSONL(f) })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `fourbitsim — reproduce "Four-Bit Wireless Link Estimation" (HotNets'07)
+and run declarative scenarios and parameter sweeps on the same harness.
 
 subcommands:
   fig2      routing trees + cost: CTP(10), MultiHopLQI, CTP(unlimited)
@@ -103,5 +251,23 @@ subcommands:
   fig8      power sweep: per-node delivery boxplots
   headline  4B vs MultiHopLQI on Mirage and TutorNet
   replicate one protocol across K independent seeds, with mean ± stddev
-  all       everything except fig3`)
+  scenario  run one declarative scenario (-preset NAME | -spec FILE | -list)
+  sweep     expand a parameter grid into replicated runs; default grid is
+            3 topologies x 2 powers x 2 protocols (12 cells)
+  all       everything except fig3
+
+common flags:
+  -seed N       master seed (replica and sweep seeds derive from it; default 1)
+  -minutes M    simulated duration per run (default 25)
+  -workers W    parallel runs; <2 = serial (default: all CPUs).
+                Results are byte-identical for every worker count.
+
+fig3 flags:      -hours H (duration), -from H / -until H (degradation window)
+replicate flags: -proto P (protocol name), -power dBm, -seeds K
+scenario flags:  -preset NAME, -spec FILE (JSON Spec), -list
+sweep flags:     -spec FILE (JSON Sweep), -replicates K (seeds per cell),
+                 -csv FILE, -jsonl FILE ('-' = stdout)
+
+Spec and Sweep JSON schemas, every knob, and worked examples are in
+docs/SCENARIOS.md; examples/sweep shows the same through the Go API.`)
 }

@@ -29,6 +29,7 @@ import (
 	"fourbit/internal/node"
 	"fourbit/internal/packet"
 	"fourbit/internal/phy"
+	"fourbit/internal/scenario"
 	"fourbit/internal/sim"
 	"fourbit/internal/topo"
 	"fourbit/internal/trace"
@@ -148,6 +149,44 @@ func Run(rc RunConfig) *Result { return experiment.Run(rc) }
 // paper's Figure 3 failure mode for physical-layer-only estimation.
 func NewGilbertElliott(badLossDB float64, meanGood, meanBad Time, seed uint64) *GilbertElliott {
 	return phy.NewGilbertElliott(badLossDB, meanGood, meanBad, sim.NewRand(seed))
+}
+
+// Declarative scenario surface. A Scenario describes one run (topology
+// generator + channel + traffic + scripted dynamics) as data; a Sweep
+// expands a parameter grid over a base scenario into replicated runs with
+// aggregated results and CSV/JSONL export. docs/SCENARIOS.md is the
+// cookbook; examples/sweep is the API walkthrough.
+type (
+	// Scenario declares one collection scenario.
+	Scenario = scenario.Spec
+	// ScenarioTopo names a topology generator and its parameters.
+	ScenarioTopo = scenario.TopoSpec
+	// ScenarioEvent is one scripted dynamics entry (node death/reboot,
+	// power step, interference onset, link burst).
+	ScenarioEvent = scenario.Event
+	// Sweep is a parameter grid over a base scenario.
+	Sweep = scenario.Sweep
+	// SweepAxis is one swept parameter and its values.
+	SweepAxis = scenario.Axis
+	// SweepResult is a sweep's aggregated outcome (WriteCSV, WriteJSONL).
+	SweepResult = scenario.SweepResult
+	// Replicated is a scenario's aggregate over its replicate seeds.
+	Replicated = experiment.Replicated
+)
+
+// Clustered scatters n nodes in a two-tier cluster layout over w×h meters.
+func Clustered(n, clusters int, w, h, spread float64, seed uint64) *Topology {
+	return topo.Clustered(n, clusters, w, h, spread, seed)
+}
+
+// Corridor places n nodes along a length×width hallway.
+func Corridor(n int, length, width float64, seed uint64) *Topology {
+	return topo.Corridor(n, length, width, seed)
+}
+
+// MultiFloor scatters n nodes over floors storeys of a w×h footprint.
+func MultiFloor(n, floors int, w, h float64, seed uint64) *Topology {
+	return topo.MultiFloor(n, floors, w, h, seed)
 }
 
 // Trace-driven simulation surface.

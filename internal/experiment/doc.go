@@ -1,0 +1,6 @@
+// Package experiment contains the harness that regenerates every measured
+// figure of the paper's evaluation (Figures 2, 3, 6, 7, 8 and the headline
+// cost/delivery comparisons). Each figure has a Run function returning a
+// structured result and an Fprint function that renders the same rows or
+// series the paper reports. DESIGN.md §4 is the experiment index.
+package experiment

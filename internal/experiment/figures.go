@@ -27,18 +27,23 @@ func RunFig2(seed uint64, duration sim.Time) *Fig2Result {
 	return RunFig2Workers(seed, duration, DefaultWorkers())
 }
 
-// RunFig2Workers is RunFig2 on an explicit worker count.
-func RunFig2Workers(seed uint64, duration sim.Time, workers int) *Fig2Result {
+// Fig2Batch builds the declarative run batch behind Figure 2: CTP,
+// MultiHopLQI and CTP-unlimited on Mirage at 0 dBm.
+func Fig2Batch(seed uint64, duration sim.Time) []RunConfig {
 	tp := topo.Mirage(seed)
-	out := &Fig2Result{Topo: tp}
 	var rcs []RunConfig
 	for _, p := range []Protocol{ProtoCTP, ProtoMultiHopLQI, ProtoCTPUnlimited} {
 		rc := DefaultRunConfig(p, tp, seed)
 		rc.Duration = duration
 		rcs = append(rcs, rc)
 	}
-	out.Runs = RunAllWorkers(rcs, workers)
-	return out
+	return rcs
+}
+
+// RunFig2Workers is RunFig2 on an explicit worker count.
+func RunFig2Workers(seed uint64, duration sim.Time, workers int) *Fig2Result {
+	rcs := Fig2Batch(seed, duration)
+	return &Fig2Result{Topo: rcs[0].Topo, Runs: RunAllWorkers(rcs, workers)}
 }
 
 // Fprint renders the Figure 2 trees and cost table.
@@ -75,18 +80,23 @@ func RunFig6(seed uint64, duration sim.Time) *Fig6Result {
 	return RunFig6Workers(seed, duration, DefaultWorkers())
 }
 
-// RunFig6Workers is RunFig6 on an explicit worker count.
-func RunFig6Workers(seed uint64, duration sim.Time, workers int) *Fig6Result {
+// Fig6Batch builds the declarative run batch behind Figure 6: the five
+// design-space variants on Mirage at 0 dBm.
+func Fig6Batch(seed uint64, duration sim.Time) []RunConfig {
 	tp := topo.Mirage(seed)
-	out := &Fig6Result{Topo: tp}
 	var rcs []RunConfig
 	for _, p := range []Protocol{ProtoCTP, ProtoCTPUnidir, ProtoCTPWhite, Proto4B, ProtoMultiHopLQI} {
 		rc := DefaultRunConfig(p, tp, seed)
 		rc.Duration = duration
 		rcs = append(rcs, rc)
 	}
-	out.Runs = RunAllWorkers(rcs, workers)
-	return out
+	return rcs
+}
+
+// RunFig6Workers is RunFig6 on an explicit worker count.
+func RunFig6Workers(seed uint64, duration sim.Time, workers int) *Fig6Result {
+	rcs := Fig6Batch(seed, duration)
+	return &Fig6Result{Topo: rcs[0].Topo, Runs: RunAllWorkers(rcs, workers)}
 }
 
 // Fprint renders the Figure 6 scatter as a table (cost vs depth).
@@ -137,12 +147,16 @@ func RunPowerSweep(seed uint64, duration sim.Time) *PowerSweepResult {
 	return RunPowerSweepWorkers(seed, duration, DefaultWorkers())
 }
 
-// RunPowerSweepWorkers is RunPowerSweep on an explicit worker count.
-func RunPowerSweepWorkers(seed uint64, duration sim.Time, workers int) *PowerSweepResult {
+// PowerSweepPowers is the transmit-power axis of Figures 7 and 8.
+var PowerSweepPowers = []float64{0, -10, -20}
+
+// PowerSweepBatch builds the declarative run batch shared by Figures 7 and
+// 8: (4B, MultiHopLQI) at each power of PowerSweepPowers, interleaved in
+// that order.
+func PowerSweepBatch(seed uint64, duration sim.Time) []RunConfig {
 	tp := topo.Mirage(seed)
-	out := &PowerSweepResult{Topo: tp, Powers: []float64{0, -10, -20}}
 	var rcs []RunConfig
-	for _, pw := range out.Powers {
+	for _, pw := range PowerSweepPowers {
 		for _, p := range []Protocol{Proto4B, ProtoMultiHopLQI} {
 			rc := DefaultRunConfig(p, tp, seed)
 			rc.TxPowerDBm = pw
@@ -150,7 +164,19 @@ func RunPowerSweepWorkers(seed uint64, duration sim.Time, workers int) *PowerSwe
 			rcs = append(rcs, rc)
 		}
 	}
-	runs := RunAllWorkers(rcs, workers)
+	return rcs
+}
+
+// RunPowerSweepWorkers is RunPowerSweep on an explicit worker count.
+func RunPowerSweepWorkers(seed uint64, duration sim.Time, workers int) *PowerSweepResult {
+	rcs := PowerSweepBatch(seed, duration)
+	return AssemblePowerSweep(rcs[0].Topo, RunAllWorkers(rcs, workers))
+}
+
+// AssemblePowerSweep regroups a PowerSweepBatch's results into the Figure
+// 7/8 result structure.
+func AssemblePowerSweep(tp *topo.Topology, runs []*Result) *PowerSweepResult {
+	out := &PowerSweepResult{Topo: tp, Powers: PowerSweepPowers}
 	for i := range out.Powers {
 		out.FB = append(out.FB, runs[2*i])
 		out.LQI = append(out.LQI, runs[2*i+1])
@@ -211,22 +237,34 @@ func RunHeadline(seed uint64, duration sim.Time) *HeadlineResult {
 	return RunHeadlineWorkers(seed, duration, DefaultWorkers())
 }
 
-// RunHeadlineWorkers is RunHeadline on an explicit worker count.
-func RunHeadlineWorkers(seed uint64, duration sim.Time, workers int) *HeadlineResult {
-	out := &HeadlineResult{}
+// HeadlineBatch builds the declarative run batch behind the headline
+// comparison: (4B, MultiHopLQI) on Mirage then TutorNet.
+func HeadlineBatch(seed uint64, duration sim.Time) []RunConfig {
 	var rcs []RunConfig
 	for _, tb := range []*topo.Topology{topo.Mirage(seed), topo.TutorNet(seed)} {
-		out.Testbeds = append(out.Testbeds, tb.Name)
 		for _, p := range []Protocol{Proto4B, ProtoMultiHopLQI} {
 			rc := DefaultRunConfig(p, tb, seed)
 			rc.Duration = duration
 			rcs = append(rcs, rc)
 		}
 	}
-	runs := RunAllWorkers(rcs, workers)
-	for i := range out.Testbeds {
-		out.FB = append(out.FB, runs[2*i])
-		out.LQI = append(out.LQI, runs[2*i+1])
+	return rcs
+}
+
+// RunHeadlineWorkers is RunHeadline on an explicit worker count.
+func RunHeadlineWorkers(seed uint64, duration sim.Time, workers int) *HeadlineResult {
+	rcs := HeadlineBatch(seed, duration)
+	return AssembleHeadline(rcs, RunAllWorkers(rcs, workers))
+}
+
+// AssembleHeadline regroups a HeadlineBatch's results into the headline
+// result structure.
+func AssembleHeadline(rcs []RunConfig, runs []*Result) *HeadlineResult {
+	out := &HeadlineResult{}
+	for i := 0; i < len(runs); i += 2 {
+		out.Testbeds = append(out.Testbeds, rcs[i].Topo.Name)
+		out.FB = append(out.FB, runs[i])
+		out.LQI = append(out.LQI, runs[i+1])
 	}
 	return out
 }

@@ -1,8 +1,3 @@
-// Package experiment contains the harness that regenerates every measured
-// figure of the paper's evaluation (Figures 2, 3, 6, 7, 8 and the headline
-// cost/delivery comparisons). Each figure has a Run function returning a
-// structured result and an Fprint function that renders the same rows or
-// series the paper reports. DESIGN.md §4 is the experiment index.
 package experiment
 
 import (
@@ -55,6 +50,18 @@ func (p Protocol) String() string {
 	}
 }
 
+// EstimatorConfig returns the estimator configuration a CTP-family protocol
+// runs with by default — the per-variant feature sets of Figure 6. Scenario
+// specs derive from it to apply knobs (table size, footer entries) on top of
+// a variant's feature set. The error reports a non-CTP-family protocol
+// (MultiHopLQI has no link estimator).
+func EstimatorConfig(p Protocol) (core.Config, error) {
+	if p == ProtoMultiHopLQI {
+		return core.Config{}, fmt.Errorf("experiment: %v has no link estimator", p)
+	}
+	return estConfig(p), nil
+}
+
 // estConfig returns the estimator configuration for a CTP-family protocol.
 func estConfig(p Protocol) core.Config {
 	cfg := core.DefaultConfig()
@@ -78,6 +85,11 @@ func estConfig(p Protocol) core.Config {
 }
 
 // RunConfig describes one collection run.
+//
+// The four optional config pointers override the per-protocol defaults;
+// nil (the zero value) keeps the behavior every figure harness has always
+// had. Scenario specs use them to sweep table size, beacon rate and
+// channel parameters without forking the harness.
 type RunConfig struct {
 	Protocol    Protocol
 	Topo        *topo.Topology
@@ -87,8 +99,19 @@ type RunConfig struct {
 	Warmup      sim.Time // tree-depth sampling starts here
 	SampleEvery sim.Time
 	Workload    collect.Workload
+	// Env replaces the derived environment configuration (EnvConfigFor).
+	// Seed and TxPowerDBm inside it are overwritten from this RunConfig so
+	// replication and power sweeps stay consistent.
+	Env *node.EnvConfig
+	// CTP replaces ctp.DefaultConfig() for CTP-family protocols.
+	CTP *ctp.Config
+	// Est replaces the protocol's estimator config (EstimatorConfig).
+	Est *core.Config
+	// LQI replaces lqirouter.DefaultConfig() for MultiHopLQI.
+	LQI *lqirouter.Config
 	// EnvMutate, if set, runs after the environment is built and before
-	// the network boots (scenario hooks install link modifiers here).
+	// the network boots (scenario hooks install link modifiers and
+	// schedule dynamics events here).
 	EnvMutate func(*node.Env)
 }
 
@@ -162,7 +185,13 @@ func EnvConfigFor(tp *topo.Topology, seed uint64, txPowerDBm float64) node.EnvCo
 
 // Run executes one collection run and gathers its metrics.
 func Run(rc RunConfig) *Result {
-	env := node.NewEnv(rc.Topo, EnvConfigFor(rc.Topo, rc.Seed, rc.TxPowerDBm))
+	envCfg := EnvConfigFor(rc.Topo, rc.Seed, rc.TxPowerDBm)
+	if rc.Env != nil {
+		envCfg = *rc.Env
+		envCfg.Seed = rc.Seed
+		envCfg.TxPowerDBm = rc.TxPowerDBm
+	}
+	env := node.NewEnv(rc.Topo, envCfg)
 	if rc.EnvMutate != nil {
 		rc.EnvMutate(env)
 	}
@@ -173,11 +202,23 @@ func Run(rc RunConfig) *Result {
 	var ledger *collect.Ledger
 
 	if rc.Protocol == ProtoMultiHopLQI {
-		net := node.BuildLQI(env, lqirouter.DefaultConfig(), rc.Workload)
+		lqiCfg := lqirouter.DefaultConfig()
+		if rc.LQI != nil {
+			lqiCfg = *rc.LQI
+		}
+		net := node.BuildLQI(env, lqiCfg, rc.Workload)
 		parents, ledger = net.Parents, net.Ledger
 		dataTx, beaconTx = net.DataTransmissions, net.BeaconTransmissions
 	} else {
-		net := node.BuildCTP(env, ctp.DefaultConfig(), estConfig(rc.Protocol), rc.Workload)
+		ctpCfg := ctp.DefaultConfig()
+		if rc.CTP != nil {
+			ctpCfg = *rc.CTP
+		}
+		estCfg := estConfig(rc.Protocol)
+		if rc.Est != nil {
+			estCfg = *rc.Est
+		}
+		net := node.BuildCTP(env, ctpCfg, estCfg, rc.Workload)
 		parents, ledger = net.Parents, net.Ledger
 		dataTx, beaconTx = net.DataTransmissions, net.BeaconTransmissions
 		estStats = func() (ins, rep, rej uint64) {

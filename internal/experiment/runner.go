@@ -132,10 +132,16 @@ func ReplicateWorkers(rc RunConfig, nSeeds int, workers int) *Replicated {
 		rcs[i] = rc
 		rcs[i].Seed = seeds[i]
 	}
-	runs := RunAllWorkers(rcs, workers)
+	return Aggregate(rc.Protocol, rc.TxPowerDBm, seeds, RunAllWorkers(rcs, workers))
+}
+
+// Aggregate assembles a Replicated from runs executed elsewhere (the sweep
+// engine batches every cell's replicas into one flat RunAll and regroups
+// through this). seeds[i] must be the seed runs[i] executed under.
+func Aggregate(p Protocol, txPowerDBm float64, seeds []uint64, runs []*Result) *Replicated {
 	rep := &Replicated{
-		Protocol:   rc.Protocol,
-		TxPowerDBm: rc.TxPowerDBm,
+		Protocol:   p,
+		TxPowerDBm: txPowerDBm,
 		Seeds:      seeds,
 		Runs:       runs,
 	}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases for the aggregation primitives the scenario exports lean on:
+// empty inputs, single observations, and degenerate all-equal samples must
+// produce well-defined (zero or constant) summaries, never NaN.
+
+func TestQuantileEmpty(t *testing.T) {
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := Quantile(nil, q); got != 0 {
+			t.Errorf("Quantile(nil, %v) = %v, want 0", q, got)
+		}
+		if got := Quantile([]float64{}, q); got != 0 {
+			t.Errorf("Quantile([], %v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleValue(t *testing.T) {
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if got := Quantile([]float64{7.5}, q); got != 7.5 {
+			t.Errorf("Quantile([7.5], %v) = %v, want 7.5", q, got)
+		}
+	}
+}
+
+func TestQuantileAllEqual(t *testing.T) {
+	vs := []float64{3, 3, 3, 3, 3}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := Quantile(vs, q); got != 3 {
+			t.Errorf("Quantile(all-3s, %v) = %v, want 3", q, got)
+		}
+	}
+}
+
+func TestQuantileOutOfRangeClamps(t *testing.T) {
+	vs := []float64{1, 2, 3}
+	if got := Quantile(vs, -0.5); got != 1 {
+		t.Errorf("Quantile(q<0) = %v, want min", got)
+	}
+	if got := Quantile(vs, 1.5); got != 3 {
+		t.Errorf("Quantile(q>1) = %v, want max", got)
+	}
+}
+
+func TestBoxplotEmpty(t *testing.T) {
+	b := NewBoxplot(nil)
+	if b.N != 0 || b.Min != 0 || b.Q1 != 0 || b.Median != 0 || b.Q3 != 0 || b.Max != 0 || b.Mean != 0 {
+		t.Errorf("NewBoxplot(nil) = %+v, want all zeros", b)
+	}
+}
+
+func TestBoxplotSingleValue(t *testing.T) {
+	b := NewBoxplot([]float64{0.42})
+	if b.N != 1 {
+		t.Fatalf("N = %d, want 1", b.N)
+	}
+	for name, v := range map[string]float64{
+		"min": b.Min, "q1": b.Q1, "med": b.Median, "q3": b.Q3, "max": b.Max, "mean": b.Mean,
+	} {
+		if v != 0.42 {
+			t.Errorf("%s = %v, want 0.42", name, v)
+		}
+	}
+}
+
+func TestBoxplotAllEqual(t *testing.T) {
+	b := NewBoxplot([]float64{1, 1, 1, 1})
+	if b.Min != 1 || b.Q1 != 1 || b.Median != 1 || b.Q3 != 1 || b.Max != 1 || b.Mean != 1 || b.N != 4 {
+		t.Errorf("all-equal boxplot = %+v, want constant 1", b)
+	}
+	// No NaNs may leak into renderings.
+	for _, v := range []float64{b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean} {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in all-equal boxplot")
+		}
+	}
+}

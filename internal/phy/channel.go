@@ -97,6 +97,7 @@ type Channel struct {
 	fade         []ouState         // per directed link (symmetric fading: see below)
 	bursts       []*GilbertElliott // per-node noise bursts (nil if disabled)
 	modifiers    []LinkModifier
+	noiseMods    [][]LinkModifier // per-node scripted noise excursions (nil if unused)
 
 	// Linear-domain mirrors of the static model, precomputed once so the
 	// per-frame path (GainLin, NoiseMW) converts only the time-varying dB
@@ -231,6 +232,11 @@ func (c *Channel) NoiseDBm(rx int, t sim.Time) float64 {
 	if c.bursts != nil {
 		nz += c.bursts[rx].ExtraLossDB(t)
 	}
+	if c.noiseMods != nil {
+		for _, m := range c.noiseMods[rx] {
+			nz += m.ExtraLossDB(t)
+		}
+	}
 	return nz
 }
 
@@ -245,6 +251,11 @@ func (c *Channel) NoiseMW(rx int, t sim.Time) float64 {
 	}
 	if c.bursts != nil {
 		varDB += c.bursts[rx].ExtraLossDB(t)
+	}
+	if c.noiseMods != nil {
+		for _, m := range c.noiseMods[rx] {
+			varDB += m.ExtraLossDB(t)
+		}
 	}
 	if varDB != 0 {
 		mw *= DBToLinear(varDB)
@@ -265,6 +276,21 @@ func (c *Channel) SetModifier(tx, rx int, m LinkModifier) {
 func (c *Channel) SetModifierBoth(a, b int, m LinkModifier) {
 	c.SetModifier(a, b, m)
 	c.SetModifier(b, a, m)
+}
+
+// AddNoiseModifier attaches a scripted noise-floor excursion (in dB, via the
+// LinkModifier interface) to receiver rx. Scenario dynamics use this for
+// mid-run interference onset: a GilbertElliott process windowed to the
+// event raises the receiver's noise floor, so losses occur that no received
+// packet's LQI can reveal. Multiple modifiers on one receiver add up.
+func (c *Channel) AddNoiseModifier(rx int, m LinkModifier) {
+	if rx < 0 || rx >= c.n {
+		panic(fmt.Sprintf("phy: AddNoiseModifier(%d) out of range n=%d", rx, c.n))
+	}
+	if c.noiseMods == nil {
+		c.noiseMods = make([][]LinkModifier, c.n)
+	}
+	c.noiseMods[rx] = append(c.noiseMods[rx], m)
 }
 
 // ExpectedSNRdB returns the static (no fading, no drift) SNR for a packet

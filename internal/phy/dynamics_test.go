@@ -1,0 +1,120 @@
+package phy
+
+import (
+	"testing"
+
+	"fourbit/internal/sim"
+)
+
+// Scenario dynamics rest on two phy primitives: a radio that can be powered
+// off mid-run (node death/reboot) and scripted per-receiver noise excursions
+// (mid-run interference onset). These tests pin their contracts.
+
+func TestDownRadioIsDeaf(t *testing.T) {
+	clock, m := testbed(t, 2, 5, 1)
+	delivered := 0
+	m.Radio(1).OnReceive(func([]byte, RxInfo) { delivered++ })
+	m.Radio(1).SetDown(true)
+	for i := 0; i < 20; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		clock.At(at, func() { m.Radio(0).Transmit(make([]byte, 20)) })
+	}
+	clock.Run()
+	if delivered != 0 {
+		t.Fatalf("down radio received %d frames", delivered)
+	}
+	if !m.Radio(1).Down() {
+		t.Fatal("Down() = false after SetDown(true)")
+	}
+}
+
+func TestDownRadioIsMuteAndRecovers(t *testing.T) {
+	clock, m := testbed(t, 2, 5, 1)
+	delivered := 0
+	m.Radio(1).OnReceive(func([]byte, RxInfo) { delivered++ })
+	// The sender dies for the first half of the run, then reboots.
+	m.Radio(0).SetDown(true)
+	clock.At(100*sim.Millisecond, func() { m.Radio(0).SetDown(false) })
+	for i := 0; i < 20; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		clock.At(at, func() { m.Radio(0).Transmit(make([]byte, 20)) })
+	}
+	clock.Run()
+	if delivered != 10 {
+		t.Fatalf("delivered %d frames, want exactly the 10 sent after reboot", delivered)
+	}
+}
+
+func TestDownRadioReportsBusyChannel(t *testing.T) {
+	_, m := testbed(t, 2, 5, 1)
+	if !m.Radio(0).ChannelClear() {
+		t.Fatal("idle powered radio should see a clear channel")
+	}
+	m.Radio(0).SetDown(true)
+	if m.Radio(0).ChannelClear() {
+		t.Fatal("down radio must report a busy channel (CSMA never transmits)")
+	}
+	m.Radio(0).SetDown(false)
+	if !m.Radio(0).ChannelClear() {
+		t.Fatal("channel should be clear again after power-up")
+	}
+}
+
+// constLoss is a trivial LinkModifier for noise-injection tests.
+type constLoss float64
+
+func (c constLoss) ExtraLossDB(sim.Time) float64 { return float64(c) }
+
+func TestNoiseModifierRaisesFloor(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowSigmaDB, p.TxVarSigmaDB, p.FadeSigmaDB, p.NoiseDriftSigmaDB = 0, 0, 0, 0
+	p.NoiseFigSigmaDB = 0
+	p.NoiseBurstAmpDB = 0
+	ch := NewChannel(lineDist(2, 5), nil, p, sim.NewSeedSpace(1))
+
+	base := ch.NoiseDBm(1, 0)
+	ch.AddNoiseModifier(1, constLoss(20))
+	got := ch.NoiseDBm(1, 0)
+	if diff := got - base; diff < 19.99 || diff > 20.01 {
+		t.Fatalf("noise modifier added %.2f dB, want 20", diff)
+	}
+	// The linear-domain mirror must agree.
+	wantMW := DBmToMilliwatts(got)
+	if mw := ch.NoiseMW(1, 0); mw < wantMW*0.999 || mw > wantMW*1.001 {
+		t.Fatalf("NoiseMW %.3g disagrees with NoiseDBm %.3g", mw, wantMW)
+	}
+	// Modifiers accumulate, and other receivers are untouched.
+	ch.AddNoiseModifier(1, constLoss(5))
+	if diff := ch.NoiseDBm(1, 0) - base; diff < 24.99 || diff > 25.01 {
+		t.Fatalf("stacked modifiers added %.2f dB, want 25", diff)
+	}
+	if d := ch.NoiseDBm(0, 0) - p.NoiseFloorDBm; d != 0 {
+		t.Fatalf("receiver 0 floor moved by %.2f dB; modifiers must be per-receiver", d)
+	}
+}
+
+func TestNoiseModifierDrownsReception(t *testing.T) {
+	clock := sim.New(4)
+	p := DefaultParams()
+	p.ShadowSigmaDB, p.TxVarSigmaDB, p.FadeSigmaDB, p.NoiseDriftSigmaDB = 0, 0, 0, 0
+	p.NoiseBurstAmpDB = 0
+	p.PacketJitterSigmaDB = 0
+	ch := NewChannel(lineDist(2, 20), nil, p, sim.NewSeedSpace(4))
+	m := NewMedium(clock, ch, DefaultRadioParams(), DefaultLQIParams(), sim.NewSeedSpace(4))
+
+	// A windowed 60 dB noise burst at the receiver from 100 ms on.
+	ge := NewGilbertElliott(60, sim.Millisecond, sim.Hour, sim.NewRand(9)).
+		Window(100*sim.Millisecond, sim.Hour)
+	ch.AddNoiseModifier(1, ge)
+
+	delivered := 0
+	m.Radio(1).OnReceive(func([]byte, RxInfo) { delivered++ })
+	for i := 0; i < 20; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		clock.At(at, func() { m.Radio(0).Transmit(make([]byte, 20)) })
+	}
+	clock.Run()
+	if delivered != 10 {
+		t.Fatalf("delivered %d frames, want the 10 before interference onset", delivered)
+	}
+}

@@ -179,6 +179,17 @@ func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 		m.Stats.DroppedTxWhileRx++
 	}
 	air := m.Airtime(len(data))
+	if r.down {
+		// A powered-off radio radiates nothing. The MAC never reaches this
+		// path in practice (ChannelClear is false while down), but the
+		// contract stays safe: the "transmission" occupies the radio for its
+		// airtime and touches no receiver.
+		t := &transmission{from: r.id, end: now + air, idx: len(m.active), powMW: m.getPowBuf()}
+		m.active = append(m.active, t)
+		r.transmitting = true
+		m.clock.At(t.end, func() { m.finishTx(t) })
+		return air
+	}
 	t := &transmission{
 		from:     r.id,
 		data:     data,
@@ -204,6 +215,10 @@ func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 		m.interfMW[j] += pmw
 		rj := m.radios[j]
 		switch {
+		case rj.down:
+			// Powered off: the energy still arrives at the antenna (and is
+			// accounted as interference for symmetry with finishTx), but the
+			// radio cannot lock on.
 		case rj.transmitting:
 			// Busy transmitting; this signal is inaudible to j but was
 			// recorded above as interference for others via t.powMW.
@@ -318,6 +333,7 @@ type Radio struct {
 	txPowerDBm   float64
 	txPowMW      float64 // txPowerDBm converted once at SetTxPower
 	transmitting bool
+	down         bool
 	rx           *reception
 	rxBuf        reception // storage reused across receptions (rx points here)
 	recv         func(data []byte, info RxInfo)
@@ -363,6 +379,27 @@ func (r *Radio) SetTxPower(dbm float64) {
 // TxPower returns the configured transmit power in dBm.
 func (r *Radio) TxPower() float64 { return r.txPowerDBm }
 
+// SetDown powers the radio off (true) or back on (false). A down radio is
+// deaf and mute: it radiates nothing, locks onto nothing, and reports a
+// busy channel so its MAC's CSMA attempts fail without touching the air.
+// From the network's perspective the node is dead — neighbors stop hearing
+// its beacons and acks and age it out — which is how scenario dynamics
+// script node death and reboot. Going down aborts any in-progress
+// reception; a frame already mid-flight from this radio completes (the
+// sub-millisecond truncation is below the model's resolution).
+func (r *Radio) SetDown(down bool) {
+	if r.down == down {
+		return
+	}
+	r.down = down
+	if down && r.rx != nil {
+		r.rx = nil
+	}
+}
+
+// Down reports whether the radio is powered off.
+func (r *Radio) Down() bool { return r.down }
+
 // Transmitting reports whether the radio is mid-transmission.
 func (r *Radio) Transmitting() bool { return r.transmitting }
 
@@ -377,7 +414,7 @@ func (r *Radio) Receiving() bool { return r.rx != nil }
 // radio's own transmissions never contribute: powMW at the sender is 0),
 // and the comparison happens in the linear domain.
 func (r *Radio) ChannelClear() bool {
-	if r.transmitting || r.rx != nil {
+	if r.down || r.transmitting || r.rx != nil {
 		return false
 	}
 	return r.m.noiseMW(r.id)+r.m.interfMW[r.id] < r.m.ccaMW

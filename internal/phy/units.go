@@ -1,14 +1,3 @@
-// Package phy models the physical layer the paper's evaluation ran on: a
-// CC2420-class IEEE 802.15.4 radio (2.4 GHz, O-QPSK with direct-sequence
-// spread spectrum, 250 kbit/s) over an indoor channel with log-distance path
-// loss, lognormal shadowing, per-node hardware variation, slow noise-floor
-// drift, and per-link time-varying fading.
-//
-// The model is the substitution for the Mirage/TutorNet hardware (see
-// DESIGN.md §1): it reproduces the two channel properties the paper's
-// argument depends on — a narrow "grey region" of intermediate-quality
-// links, and received-packet quality indicators (LQI) that stay high on
-// bursty links whose packet reception ratio is collapsing.
 package phy
 
 import "math"

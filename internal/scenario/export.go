@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Structured result export. CSV carries one row per cell (axis columns
+// first, then aggregate columns) for spreadsheets and gnuplot; JSONL
+// carries one object per cell including the per-seed runs, for anything
+// programmatic. Both formats are stable row-ordered (cell index), so diffs
+// between sweeps are meaningful.
+
+// csvAggregates are the per-cell aggregate columns, in order. The first
+// four restate the resolved configuration (axis columns carry the swept
+// values; these carry what they expanded to, e.g. topology "clustered" →
+// "clustered-60-6"), under names that cannot collide with axis params
+// (which include "nodes", "txpower", "topology", "protocol").
+var csvAggregates = []string{
+	"proto", "topo", "topo_nodes", "txpower_dbm", "replicates",
+	"cost_mean", "cost_std", "delivery_mean", "delivery_std",
+	"depth_mean", "depth_std", "hops_mean", "datatx_mean", "beacontx_mean",
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// WriteCSV emits the result table.
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	var header []string
+	header = append(header, "cell")
+	if len(r.Cells) > 0 {
+		for _, l := range r.Cells[0].Cell.Labels {
+			header = append(header, l.Param)
+		}
+	}
+	header = append(header, csvAggregates...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		rep := c.Rep
+		row := []string{strconv.Itoa(c.Cell.Index)}
+		for _, l := range c.Cell.Labels {
+			row = append(row, l.Value)
+		}
+		topoName, nodes := cellTopo(c)
+		row = append(row,
+			rep.Protocol.String(),
+			topoName,
+			strconv.Itoa(nodes),
+			strconv.FormatFloat(rep.TxPowerDBm, 'g', -1, 64),
+			strconv.Itoa(len(rep.Runs)),
+			fmtF(rep.Cost.Mean), fmtF(rep.Cost.Stddev),
+			fmtF(rep.Delivery.Mean), fmtF(rep.Delivery.Stddev),
+			fmtF(rep.MeanDepth.Mean), fmtF(rep.MeanDepth.Stddev),
+			fmtF(rep.MeanHops.Mean),
+			fmtF(rep.DataTx.Mean), fmtF(rep.BeaconTx.Mean),
+		)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// cellTopo rebuilds the cell's topology name and size for reporting (the
+// build is deterministic and cheap next to the runs themselves).
+func cellTopo(c *CellResult) (name string, nodes int) {
+	tp, err := c.Cell.Spec.Topology.Build(c.Cell.Spec.Seed)
+	if err != nil {
+		return "?", 0
+	}
+	return tp.Name, tp.N()
+}
+
+// jsonCell is the JSONL row schema.
+type jsonCell struct {
+	Cell       int               `json:"cell"`
+	Params     map[string]string `json:"params"`
+	Protocol   string            `json:"protocol"`
+	Topology   string            `json:"topology"`
+	Nodes      int               `json:"nodes"`
+	TxPowerDBm float64           `json:"txpower_dbm"`
+	Seeds      []uint64          `json:"seeds"`
+	Cost       jsonStat          `json:"cost"`
+	Delivery   jsonStat          `json:"delivery"`
+	Depth      jsonStat          `json:"depth"`
+	Hops       jsonStat          `json:"hops"`
+	DataTx     jsonStat          `json:"datatx"`
+	BeaconTx   jsonStat          `json:"beacontx"`
+	Runs       []jsonRun         `json:"runs"`
+}
+
+type jsonStat struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+}
+
+type jsonRun struct {
+	Seed     uint64  `json:"seed"`
+	Cost     float64 `json:"cost"`
+	Delivery float64 `json:"delivery"`
+	Depth    float64 `json:"depth"`
+	DataTx   uint64  `json:"datatx"`
+	BeaconTx uint64  `json:"beacontx"`
+}
+
+// WriteJSONL emits one JSON object per cell, one per line.
+func (r *SweepResult) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		rep := c.Rep
+		params := make(map[string]string, len(c.Cell.Labels))
+		for _, l := range c.Cell.Labels {
+			params[l.Param] = l.Value
+		}
+		topoName, nodes := cellTopo(c)
+		row := jsonCell{
+			Cell:       c.Cell.Index,
+			Params:     params,
+			Protocol:   rep.Protocol.String(),
+			Topology:   topoName,
+			Nodes:      nodes,
+			TxPowerDBm: rep.TxPowerDBm,
+			Seeds:      rep.Seeds,
+			Cost:       jsonStat{rep.Cost.Mean, rep.Cost.Stddev},
+			Delivery:   jsonStat{rep.Delivery.Mean, rep.Delivery.Stddev},
+			Depth:      jsonStat{rep.MeanDepth.Mean, rep.MeanDepth.Stddev},
+			Hops:       jsonStat{rep.MeanHops.Mean, rep.MeanHops.Stddev},
+			DataTx:     jsonStat{rep.DataTx.Mean, rep.DataTx.Stddev},
+			BeaconTx:   jsonStat{rep.BeaconTx.Mean, rep.BeaconTx.Stddev},
+		}
+		for j, run := range rep.Runs {
+			row.Runs = append(row.Runs, jsonRun{
+				Seed:     rep.Seeds[j],
+				Cost:     run.Cost,
+				Delivery: run.DeliveryRatio,
+				Depth:    run.MeanDepth,
+				DataTx:   run.DataTx,
+				BeaconTx: run.BeaconTx,
+			})
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fprint renders the sweep as an aligned terminal table.
+func (r *SweepResult) Fprint(w io.Writer) {
+	if r.Name != "" {
+		fmt.Fprintf(w, "sweep %s: %d cells\n", r.Name, len(r.Cells))
+	} else {
+		fmt.Fprintf(w, "sweep: %d cells\n", len(r.Cells))
+	}
+	width := 0
+	labels := make([]string, len(r.Cells))
+	for i := range r.Cells {
+		s := ""
+		for j, l := range r.Cells[i].Cell.Labels {
+			if j > 0 {
+				s += " "
+			}
+			s += l.Param + "=" + l.Value
+		}
+		labels[i] = s
+		if len(s) > width {
+			width = len(s)
+		}
+	}
+	fmt.Fprintf(w, "%4s  %-*s %18s %16s %8s\n", "cell", width, "parameters", "cost", "delivery", "depth")
+	for i := range r.Cells {
+		rep := r.Cells[i].Rep
+		fmt.Fprintf(w, "%4d  %-*s %9.2f ±%6.2f %8.1f%% ±%4.1f%% %8.2f\n",
+			r.Cells[i].Cell.Index, width, labels[i],
+			rep.Cost.Mean, rep.Cost.Stddev,
+			rep.Delivery.Mean*100, rep.Delivery.Stddev*100,
+			rep.MeanDepth.Mean)
+	}
+}

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"fourbit/internal/experiment"
+	"fourbit/internal/sim"
+)
+
+// The figure presets must compile to exactly the batches the classic
+// harness builds — this is what makes figure output through the scenario
+// path byte-identical to pre-scenario output.
+func TestFigureSpecsMatchExperimentBatches(t *testing.T) {
+	const seed, minutes = 1, 25.0
+	dur := sim.FromSeconds(minutes * 60)
+	cases := []struct {
+		name  string
+		specs []Spec
+		want  []experiment.RunConfig
+	}{
+		{"fig2", Fig2Specs(seed, minutes), experiment.Fig2Batch(seed, dur)},
+		{"fig6", Fig6Specs(seed, minutes), experiment.Fig6Batch(seed, dur)},
+		{"powersweep", PowerSweepSpecs(seed, minutes), experiment.PowerSweepBatch(seed, dur)},
+		{"headline", HeadlineSpecs(seed, minutes), experiment.HeadlineBatch(seed, dur)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := BuildRuns(c.specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("batch size %d, want %d", len(got), len(c.want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], c.want[i]) {
+					t.Errorf("run %d differs:\nscenario:   %+v\nexperiment: %+v", i, got[i], c.want[i])
+				}
+			}
+		})
+	}
+}
+
+// A full end-to-end check on one figure: the rendered output of the
+// scenario path is byte-identical to the classic harness.
+func TestFig2OutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation")
+	}
+	const seed, minutes = 1, 2.0
+	var classic, preset bytes.Buffer
+	experiment.RunFig2Workers(seed, sim.FromSeconds(minutes*60), 2).Fprint(&classic)
+	RunFig2(seed, minutes, 2).Fprint(&preset)
+	if classic.String() != preset.String() {
+		t.Fatalf("fig2 output differs:\n-- classic --\n%s\n-- scenario --\n%s",
+			classic.String(), preset.String())
+	}
+}

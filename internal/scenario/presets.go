@@ -1,0 +1,138 @@
+package scenario
+
+// NamedSpec is a ready-to-run scenario preset for the CLI.
+type NamedSpec struct {
+	Name string
+	Desc string
+	Spec Spec
+}
+
+// Presets returns the built-in scenario library: the conditions the paper
+// could not test on its two testbeds, each exercising one axis the
+// estimator literature says can flip conclusions (workload, density,
+// marginal power, external interference, churn). `fourbitsim scenario
+// -preset <name>` runs one; docs/SCENARIOS.md walks through each.
+func Presets() []NamedSpec {
+	return []NamedSpec{
+		{
+			Name: "baseline",
+			Desc: "4B on Mirage at 0 dBm — the standard 25-minute run",
+			Spec: Spec{Name: "baseline", Protocol: "4B", Topology: TopoSpec{Kind: "mirage"}, Seed: 1},
+		},
+		{
+			Name: "clustered-table-pressure",
+			Desc: "dense two-tier clusters with a 4-entry link table: admission policy under maximum pressure",
+			Spec: Spec{
+				Name:      "clustered-table-pressure",
+				Protocol:  "4B",
+				Topology:  TopoSpec{Kind: "clustered", N: 60, Clusters: 5, WidthM: 45, HeightM: 30, SpreadM: 2.5, ClutterDB: 4},
+				Seed:      1,
+				TableSize: 4,
+			},
+		},
+		{
+			Name: "corridor-marginal",
+			Desc: "a 150 m corridor at -15 dBm: long chains of grey-region links",
+			Spec: Spec{
+				Name:       "corridor-marginal",
+				Protocol:   "4B",
+				Topology:   TopoSpec{Kind: "corridor", N: 40, LengthM: 150, WidthM: 4},
+				Seed:       1,
+				TxPowerDBm: -15,
+			},
+		},
+		{
+			Name: "interference-onset",
+			Desc: "uniform field; minutes 10-18 an interferer blankets half the nodes (LQI-invisible losses)",
+			Spec: Spec{
+				Name:     "interference-onset",
+				Protocol: "4B",
+				Topology: TopoSpec{Kind: "uniform", N: 60, WidthM: 50, HeightM: 30, ClutterDB: 4},
+				Seed:     1,
+				Dynamics: []Event{{
+					Kind: "interference", AtMin: 10, UntilMin: 18,
+					Nodes: evens(60), AmpDB: 25, MeanOnMS: 800, MeanOffS: 3,
+				}},
+			},
+		},
+		{
+			Name: "node-churn",
+			Desc: "clustered network; a third of the nodes die at minute 8 and reboot at minute 16",
+			Spec: Spec{
+				Name:     "node-churn",
+				Protocol: "4B",
+				Topology: TopoSpec{Kind: "clustered", N: 60, Clusters: 6, WidthM: 50, HeightM: 30, SpreadM: 3},
+				Seed:     1,
+				Dynamics: []Event{{
+					Kind: "node-down", AtMin: 8, UntilMin: 16, Nodes: every(3, 60),
+				}},
+			},
+		},
+		{
+			Name: "power-drop",
+			Desc: "multifloor deployment; every non-root node steps from 0 to -12 dBm at minute 10 (links turn marginal mid-run)",
+			Spec: Spec{
+				Name:     "power-drop",
+				Protocol: "4B",
+				Topology: TopoSpec{Kind: "multifloor", N: 60, Floors: 3, WidthM: 40, HeightM: 24},
+				Seed:     1,
+				Dynamics: []Event{{
+					Kind: "power-step", AtMin: 10, PowerDBm: -12,
+				}},
+			},
+		},
+	}
+}
+
+// Preset looks a preset up by name.
+func Preset(name string) (NamedSpec, bool) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return NamedSpec{}, false
+}
+
+// evens returns the even node indices below n — a deterministic "half the
+// network" target set.
+func evens(n int) []int {
+	var out []int
+	for i := 2; i < n; i += 2 {
+		out = append(out, i)
+	}
+	return out
+}
+
+// every returns every k-th node index below n — "a third of the network"
+// for k=3. The dynamics engine spares the root on node-down regardless.
+func every(k, n int) []int {
+	var out []int
+	for i := k; i < n; i += k {
+		out = append(out, i)
+	}
+	return out
+}
+
+// DefaultSweep is the baseline grid behind `fourbitsim sweep` with no spec
+// file: three topologies × two transmit powers × two protocols = 12 cells,
+// the smallest grid that exercises density, power and protocol at once.
+func DefaultSweep(seed uint64, minutes float64, replicates int) Sweep {
+	return Sweep{
+		Name: "baseline-grid",
+		Base: Spec{
+			Topology: TopoSpec{
+				N: 60, WidthM: 50, HeightM: 30,
+				Clusters: 6, SpreadM: 3,
+			},
+			Seed:        seed,
+			DurationMin: minutes,
+			Replicates:  replicates,
+		},
+		Axes: []Axis{
+			{Param: "topology", Strings: []string{"mirage", "uniform", "clustered"}},
+			{Param: "txpower", Values: []float64{0, -10}},
+			{Param: "protocol", Strings: []string{"4B", "MultiHopLQI"}},
+		},
+	}
+}

@@ -1,13 +1,3 @@
-// Package sim implements the discrete-event simulation engine that every
-// other subsystem in this repository runs on.
-//
-// The engine is deliberately small: a virtual clock, an event queue ordered
-// by (time, insertion sequence), cancellable timers, and deterministic
-// pseudo-random streams derived from a single master seed. TinyOS programs
-// are event-driven state machines; running their Go ports on this engine
-// preserves those semantics without threads or wall-clock time.
-//
-// All times are virtual. Library code must never consult the wall clock.
 package sim
 
 import (

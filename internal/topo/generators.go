@@ -1,0 +1,84 @@
+package topo
+
+import (
+	"fmt"
+
+	"fourbit/internal/sim"
+)
+
+// Scenario-oriented generators beyond the two named testbeds. Each is
+// deterministic in its arguments: the same call always yields the same
+// placements, so scenario sweeps over density or shape replicate exactly.
+// The root is always the node nearest the bottom-left corner, matching the
+// paper's testbeds.
+
+// Clustered scatters n nodes in a two-tier layout over a w×h area: clusters
+// cluster centers placed uniformly, members Gaussian-spread (sigma =
+// spread meters) around their center, assigned round-robin. Clustered
+// deployments stress the link table hardest — within a cluster every node
+// hears every other, so the 10-entry table must evict aggressively to admit
+// the one root-ward link that matters (the Figure 2 failure mode).
+func Clustered(n, clusters int, w, h, spread float64, seed uint64) *Topology {
+	if clusters < 1 {
+		clusters = 1
+	}
+	rng := sim.NewRand(seed ^ 0x436c7573) // "Clus"
+	t := &Topology{Name: fmt.Sprintf("clustered-%d-%d", n, clusters)}
+	cx := make([]float64, clusters)
+	cy := make([]float64, clusters)
+	for c := 0; c < clusters; c++ {
+		cx[c] = rng.Uniform(0.1*w, 0.9*w)
+		cy[c] = rng.Uniform(0.1*h, 0.9*h)
+	}
+	for i := 0; i < n; i++ {
+		c := i % clusters
+		t.Positions = append(t.Positions, Point{
+			X: clamp(cx[c]+rng.Normal(0, spread), 0, w),
+			Y: clamp(cy[c]+rng.Normal(0, spread), 0, h),
+		})
+	}
+	t.Root = t.closestTo(0, 0)
+	return t
+}
+
+// Corridor places n nodes uniformly along a length×width hallway (width ≪
+// length), the shape of tunnel, pipeline and bridge deployments. The
+// geometry forces near-linear multi-hop routes, so depth — and with it the
+// cost of every estimation mistake — grows linearly with length.
+func Corridor(n int, length, width float64, seed uint64) *Topology {
+	rng := sim.NewRand(seed ^ 0x436f7272) // "Corr"
+	t := &Topology{Name: fmt.Sprintf("corridor-%d", n)}
+	for i := 0; i < n; i++ {
+		t.Positions = append(t.Positions, Point{
+			X: rng.Uniform(0, length),
+			Y: rng.Uniform(0, width),
+		})
+	}
+	t.Root = t.closestTo(0, width/2)
+	return t
+}
+
+// MultiFloor scatters n nodes uniformly over floors storeys of a w×h
+// footprint, generalizing the TutorNet two-floor testbed: a 14 dB slab per
+// storey and 4 m vertical separation. Inter-floor links are marginal by
+// construction, the regime where the paper reports 4B's larger gains.
+func MultiFloor(n, floors int, w, h float64, seed uint64) *Topology {
+	if floors < 1 {
+		floors = 1
+	}
+	rng := sim.NewRand(seed ^ 0x466c6f6f) // "Floo"
+	t := &Topology{
+		Name:         fmt.Sprintf("multifloor-%d-%d", n, floors),
+		FloorLossDB:  14,
+		FloorHeightM: 4,
+	}
+	for i := 0; i < n; i++ {
+		t.Positions = append(t.Positions, Point{
+			X:     rng.Uniform(0, w),
+			Y:     rng.Uniform(0, h),
+			Floor: i * floors / n,
+		})
+	}
+	t.Root = t.closestTo(0, 0)
+	return t
+}

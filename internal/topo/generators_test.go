@@ -1,0 +1,92 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	pairs := [][2]*Topology{
+		{Clustered(40, 5, 50, 30, 3, 7), Clustered(40, 5, 50, 30, 3, 7)},
+		{Corridor(30, 120, 4, 7), Corridor(30, 120, 4, 7)},
+		{MultiFloor(45, 3, 40, 25, 7), MultiFloor(45, 3, 40, 25, 7)},
+	}
+	for _, p := range pairs {
+		if !reflect.DeepEqual(p[0], p[1]) {
+			t.Errorf("%s: two builds with identical arguments differ", p[0].Name)
+		}
+	}
+	if reflect.DeepEqual(Clustered(40, 5, 50, 30, 3, 7), Clustered(40, 5, 50, 30, 3, 8)) {
+		t.Error("clustered: distinct seeds produced identical layouts")
+	}
+}
+
+func TestClusteredShape(t *testing.T) {
+	tp := Clustered(40, 5, 50, 30, 3, 1)
+	if tp.N() != 40 {
+		t.Fatalf("N = %d, want 40", tp.N())
+	}
+	for i, p := range tp.Positions {
+		if p.X < 0 || p.X > 50 || p.Y < 0 || p.Y > 30 || p.Floor != 0 {
+			t.Fatalf("node %d out of area: %+v", i, p)
+		}
+	}
+	if tp.Root < 0 || tp.Root >= tp.N() {
+		t.Fatalf("root %d out of range", tp.Root)
+	}
+	// Two-tier structure: the mean same-cluster distance must be far below
+	// the mean cross-cluster distance (members sit spread≈3 m around one of
+	// five centers scattered over a 50×30 floor).
+	var same, cross float64
+	var nSame, nCross int
+	for i := 0; i < tp.N(); i++ {
+		for j := i + 1; j < tp.N(); j++ {
+			if i%5 == j%5 {
+				same += tp.Distance(i, j)
+				nSame++
+			} else {
+				cross += tp.Distance(i, j)
+				nCross++
+			}
+		}
+	}
+	if same/float64(nSame) >= cross/float64(nCross)/2 {
+		t.Errorf("clusters not tight: same %.1f m vs cross %.1f m",
+			same/float64(nSame), cross/float64(nCross))
+	}
+}
+
+func TestCorridorShape(t *testing.T) {
+	tp := Corridor(30, 120, 4, 2)
+	for i, p := range tp.Positions {
+		if p.X < 0 || p.X > 120 || p.Y < 0 || p.Y > 4 {
+			t.Fatalf("node %d outside the corridor: %+v", i, p)
+		}
+	}
+	// The root is the entrance end of the hallway.
+	if tp.Positions[tp.Root].X > 30 {
+		t.Errorf("root at X=%.1f, want near the x=0 end", tp.Positions[tp.Root].X)
+	}
+}
+
+func TestMultiFloorShape(t *testing.T) {
+	tp := MultiFloor(45, 3, 40, 25, 3)
+	seen := map[int]int{}
+	for _, p := range tp.Positions {
+		seen[p.Floor]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("floors used: %v, want 3", seen)
+	}
+	for f, n := range seen {
+		if n != 15 {
+			t.Errorf("floor %d holds %d nodes, want 15", f, n)
+		}
+	}
+	if tp.Positions[tp.Root].Floor != 0 {
+		t.Errorf("root on floor %d, want 0", tp.Positions[tp.Root].Floor)
+	}
+	if tp.FloorLossDB != 14 || tp.FloorHeightM != 4 {
+		t.Errorf("slab parameters %v/%v, want 14 dB / 4 m", tp.FloorLossDB, tp.FloorHeightM)
+	}
+}
