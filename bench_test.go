@@ -20,6 +20,16 @@ import (
 
 const benchMinutes = 6 * sim.Minute
 
+// skipInShort gates the multi-second figure and ablation benches out of
+// short mode, leaving a fast smoke — BenchmarkSimulatedMinuteCTP plus the
+// micro-benches — that CI runs on every PR (`go test -short -bench .`) so
+// hot-path regressions surface without a multi-minute job.
+func skipInShort(b *testing.B) {
+	if testing.Short() {
+		b.Skip("multi-second figure bench; skipped in -short (CI smoke)")
+	}
+}
+
 func reportRun(b *testing.B, res *experiment.Result, prefix string) {
 	b.ReportMetric(res.Cost, prefix+"cost")
 	b.ReportMetric(res.MeanDepth, prefix+"depth")
@@ -29,6 +39,7 @@ func reportRun(b *testing.B, res *experiment.Result, prefix string) {
 // BenchmarkFig2RoutingTrees regenerates Figure 2: CTP with a 10-entry
 // table vs MultiHopLQI vs CTP with an unrestricted table on Mirage.
 func BenchmarkFig2RoutingTrees(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiment.RunFig2(1, benchMinutes)
 		reportRun(b, r.Runs[0], "ctp_")
@@ -41,6 +52,7 @@ func BenchmarkFig2RoutingTrees(b *testing.B) {
 // MultiHopLQI run on TutorNet where an in-use link turns bursty; the PRR
 // collapses while received-packet LQI stays saturated.
 func BenchmarkFig3LQIBlindspot(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		cfg := experiment.DefaultFig3Config(1)
 		cfg.Duration = 90 * sim.Minute
@@ -59,6 +71,7 @@ func BenchmarkFig3LQIBlindspot(b *testing.B) {
 // variants (CTP, +unidir, +white, 4B, MultiHopLQI) on Mirage, on the
 // default worker pool (one worker per CPU).
 func BenchmarkFig6DesignSpace(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiment.RunFig6(1, benchMinutes)
 		for _, res := range r.Runs {
@@ -73,6 +86,7 @@ func BenchmarkFig6DesignSpace(b *testing.B) {
 // this machine (the results themselves are identical; see
 // TestRunAllMatchesSerial).
 func BenchmarkFig6DesignSpaceSerial(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		experiment.RunFig6Workers(1, benchMinutes, 1)
 	}
@@ -81,6 +95,7 @@ func BenchmarkFig6DesignSpaceSerial(b *testing.B) {
 // BenchmarkFig7PowerSweep regenerates Figure 7: 4B vs MultiHopLQI at 0,
 // -10 and -20 dBm on Mirage.
 func BenchmarkFig7PowerSweep(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiment.RunPowerSweep(1, benchMinutes)
 		for j, pw := range r.Powers {
@@ -93,6 +108,7 @@ func BenchmarkFig7PowerSweep(b *testing.B) {
 // BenchmarkFig8DeliveryDistribution regenerates Figure 8: the per-node
 // delivery distributions behind the power sweep.
 func BenchmarkFig8DeliveryDistribution(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiment.RunPowerSweep(1, benchMinutes)
 		last := len(r.Powers) - 1
@@ -103,6 +119,7 @@ func BenchmarkFig8DeliveryDistribution(b *testing.B) {
 
 // BenchmarkHeadline regenerates the abstract's comparison on both testbeds.
 func BenchmarkHeadline(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiment.RunHeadline(1, benchMinutes)
 		for j, name := range r.Testbeds {
@@ -144,6 +161,7 @@ func minOf(v []float64) float64 {
 // BenchmarkAblationStreams compares the full hybrid estimator against
 // beacon-only estimation (no ack bit): the agility the unicast stream buys.
 func BenchmarkAblationStreams(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		tp := topo.Mirage(1)
 		full := experiment.DefaultRunConfig(experiment.Proto4B, tp, 1)
@@ -162,6 +180,7 @@ func BenchmarkAblationStreams(b *testing.B) {
 // against the plain never-replace policy (ProtoCTPUnidir) at a small table,
 // where admission policy decides which links exist at all.
 func BenchmarkAblationTablePolicy(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		tp := topo.Mirage(1)
 		with := experiment.DefaultRunConfig(experiment.Proto4B, tp, 1)

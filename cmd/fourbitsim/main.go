@@ -22,12 +22,17 @@
 //	fourbitsim sweep     [-spec FILE] [-seed N] [-minutes M] [-replicates K]
 //	                     [-csv FILE] [-jsonl FILE] [-workers W]
 //	fourbitsim all       [-seed N] [-minutes M] [-workers W]
+//
+// Every subcommand also accepts -cpuprofile FILE and -memprofile FILE to
+// capture paper-scale pprof profiles of exactly the workload it runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"fourbit/internal/experiment"
 	"fourbit/internal/scenario"
@@ -57,11 +62,41 @@ func main() {
 	replicates := fs.Int("replicates", 3, "sweep: seeds per grid cell (overridden by the spec's Replicates)")
 	csvOut := fs.String("csv", "", "sweep: write the result table as CSV to this file ('-' = stdout)")
 	jsonlOut := fs.String("jsonl", "", "sweep: write per-cell JSONL results to this file ('-' = stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write an end-of-run heap profile to this file (inspect with go tool pprof)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 	if *minutes <= 0 {
 		fatal(fmt.Errorf("-minutes must be positive, got %g", *minutes))
+	}
+	// Profiles capture paper-scale workloads without editing code: any
+	// subcommand accepts them, so `fourbitsim fig7 -cpuprofile cpu.out`
+	// profiles exactly what the paper runs. The files are finalized when
+	// the subcommand returns normally (error exits abandon them).
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	dur := sim.FromSeconds(*minutes * 60)
 
@@ -261,6 +296,8 @@ common flags:
   -minutes M    simulated duration per run (default 25)
   -workers W    parallel runs; <2 = serial (default: all CPUs).
                 Results are byte-identical for every worker count.
+  -cpuprofile F write a CPU profile of the run to F (go tool pprof)
+  -memprofile F write an end-of-run heap profile to F (go tool pprof)
 
 fig3 flags:      -hours H (duration), -from H / -until H (degradation window)
 replicate flags: -proto P (protocol name), -power dBm, -seeds K

@@ -52,9 +52,19 @@ func (e *Entry) LastHeard() sim.Time { return e.lastHeard }
 
 // Table is the fixed-capacity link table with pin-aware random eviction.
 // The zero Table is unusable; use newTable.
+//
+// Lookups are the hottest operation in the whole simulator (parent
+// selection queries the table for every routing candidate on every beacon
+// and every data transmission), so the table keeps a dense address→slot
+// index beside the ordered entry list: Find is O(1), while insertion order
+// — which the footer round-robin, eviction tie-breaking and random-victim
+// draws all observe — is preserved exactly by the entry list.
 type Table struct {
 	cap     int
 	entries []*Entry
+	index   []int32 // addr → slot+1 in entries; 0 = absent
+	free    []*Entry
+	scratch []int // victim-candidate buffer for EvictRandomUnpinned
 }
 
 func newTable(capacity int) *Table {
@@ -69,12 +79,21 @@ func (t *Table) Len() int { return len(t.entries) }
 
 // Find returns the entry for addr, or nil.
 func (t *Table) Find(addr packet.Addr) *Entry {
-	for _, e := range t.entries {
-		if e.Addr == addr {
-			return e
+	if int(addr) < len(t.index) {
+		if p := t.index[addr]; p > 0 {
+			return t.entries[p-1]
 		}
 	}
 	return nil
+}
+
+func (t *Table) setIndex(addr packet.Addr, slot int) {
+	if int(addr) >= len(t.index) {
+		grown := make([]int32, int(addr)+1)
+		copy(grown, t.index)
+		t.index = grown
+	}
+	t.index[addr] = int32(slot + 1)
 }
 
 // Insert adds a fresh entry for addr if there is room, returning it; it
@@ -87,34 +106,54 @@ func (t *Table) Insert(addr packet.Addr) *Entry {
 	if len(t.entries) >= t.cap {
 		return nil
 	}
-	e := &Entry{Addr: addr}
+	var e *Entry
+	if n := len(t.free); n > 0 {
+		e = t.free[n-1]
+		t.free = t.free[:n-1]
+		*e = Entry{Addr: addr}
+	} else {
+		e = &Entry{Addr: addr}
+	}
 	t.entries = append(t.entries, e)
+	t.setIndex(addr, len(t.entries)-1)
 	return e
+}
+
+// removeAt splices out the entry at slot i, maintaining the index for every
+// shifted entry and recycling the removed Entry.
+func (t *Table) removeAt(i int) {
+	e := t.entries[i]
+	t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	for j := i; j < len(t.entries); j++ {
+		t.index[t.entries[j].Addr] = int32(j + 1)
+	}
+	t.index[e.Addr] = 0
+	t.free = append(t.free, e)
 }
 
 // EvictRandomUnpinned removes one uniformly-chosen unpinned entry — the
 // replacement policy of §3.3 — and reports whether a slot was freed.
 func (t *Table) EvictRandomUnpinned(rng *sim.Rand) bool {
-	var victims []int
+	victims := t.scratch[:0]
 	for i, e := range t.entries {
 		if !e.Pinned {
 			victims = append(victims, i)
 		}
 	}
+	t.scratch = victims[:0]
 	if len(victims) == 0 {
 		return false
 	}
-	i := victims[rng.Intn(len(victims))]
-	t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	t.removeAt(victims[rng.Intn(len(victims))])
 	return true
 }
 
 // Remove deletes addr from the table (regardless of pinning; the network
 // layer unpins before asking). It reports whether the entry existed.
 func (t *Table) Remove(addr packet.Addr) bool {
-	for i, e := range t.entries {
-		if e.Addr == addr {
-			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	if int(addr) < len(t.index) {
+		if p := t.index[addr]; p > 0 {
+			t.removeAt(int(p - 1))
 			return true
 		}
 	}

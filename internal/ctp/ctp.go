@@ -111,8 +111,7 @@ type Node struct {
 	deliver Deliver
 
 	// Routing engine state.
-	routes        []routeEntry  // dense, indexed by neighbor address
-	routeAddrs    []packet.Addr // occupied slots, in first-heard order
+	routes        []routeEntry // dense, indexed by neighbor address
 	parent        packet.Addr
 	cost          float64
 	interval      sim.Time

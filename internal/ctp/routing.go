@@ -53,10 +53,7 @@ func (n *Node) routeFor(a packet.Addr) *routeEntry {
 		n.routes = grown
 	}
 	e := &n.routes[a]
-	if !e.known {
-		e.known = true
-		n.routeAddrs = append(n.routeAddrs, a)
-	}
+	e.known = true
 	return e
 }
 
@@ -90,16 +87,24 @@ func (n *Node) updateRoute() {
 	if n.isRoot {
 		return
 	}
+	// Candidates need both an advertised route and a link estimate, so the
+	// estimator's table (≤ TableSize entries) — not the full ever-heard
+	// neighbor list — bounds the scan. The winner minimizes (total, addr)
+	// lexicographically, which is iteration-order independent, so walking
+	// the table yields exactly the neighbor-list result.
 	best := packet.None
 	bestTotal := noCost
-	for _, a := range n.routeAddrs {
-		if n.routes[a].parent == n.self {
-			continue // our own child; choosing it would loop
-		}
-		total, ok := n.totalCost(a)
+	for _, e := range n.est.Table().Entries() {
+		etx, ok := e.ETX()
 		if !ok {
 			continue
 		}
+		a := e.Addr
+		r := n.route(a)
+		if r == nil || r.cost == noCost || r.parent == n.self {
+			continue
+		}
+		total := r.cost + etx
 		if total < bestTotal || (total == bestTotal && a < best) {
 			best, bestTotal = a, total
 		}

@@ -279,3 +279,21 @@ func TestEstConfigVariants(t *testing.T) {
 	}()
 	estConfig(ProtoMultiHopLQI)
 }
+
+// TestFig3RejectsDegenerateBadFraction pins the config-time validation:
+// BadFraction at or beyond the (0,1) endpoints must fail immediately with
+// the knob named, not mid-run inside the Gilbert–Elliott constructor.
+func TestFig3RejectsDegenerateBadFraction(t *testing.T) {
+	for _, f := range []float64{0, 1, -0.2, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BadFraction=%g: RunFig3 did not panic", f)
+				}
+			}()
+			cfg := DefaultFig3Config(1)
+			cfg.BadFraction = f
+			RunFig3(cfg)
+		}()
+	}
+}

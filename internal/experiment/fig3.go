@@ -30,7 +30,9 @@ type Fig3Config struct {
 	// defaults to one beacon period before DegradeFrom.
 	SelectAt sim.Time
 	Window   sim.Time // series sampling window
-	// BadFraction is the Bad-state duty cycle (PRR drops to ~1-BadFraction).
+	// BadFraction is the Bad-state duty cycle (PRR drops to
+	// ~1-BadFraction). Must be strictly inside (0,1): the Gilbert–Elliott
+	// sojourn means are derived from it and degenerate at the endpoints.
 	BadFraction float64
 	MeanBad     sim.Time
 }
@@ -67,6 +69,12 @@ type Fig3Result struct {
 
 // RunFig3 executes the scenario.
 func RunFig3(cfg Fig3Config) *Fig3Result {
+	if cfg.BadFraction <= 0 || cfg.BadFraction >= 1 {
+		// Fail at config time with the offending knob named, not mid-run
+		// when the degradation window opens and the derived Gilbert–Elliott
+		// sojourn mean comes out non-positive.
+		panic(fmt.Sprintf("experiment: Fig3Config.BadFraction must be in (0,1), got %g", cfg.BadFraction))
+	}
 	if cfg.SelectAt == 0 {
 		cfg.SelectAt = cfg.DegradeFrom - 30*sim.Second
 	}

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fourbit/internal/sim"
+	"fourbit/internal/topo"
+)
+
+// The performance kernel (PRR decision table, pooled timers, cached gain
+// paths) must not change simulation trajectories by a single bit: the fast
+// paths are certified-exact rewrites of the analytic model, not
+// approximations of it. This test pins that property by fingerprinting
+// short runs — every float down to its last mantissa bit — against goldens
+// generated before the kernel existed. Any divergence, however small, is a
+// correctness bug in a fast path, not noise.
+//
+// Regenerate (only for deliberate, documented model changes) with:
+//
+//	go test ./internal/experiment -run TestGoldenRunFingerprints -update-goldens
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata/golden_runs.txt from the current model")
+
+func goldenConfigs() []RunConfig {
+	short := func(rc RunConfig) RunConfig {
+		rc.Duration = 2 * sim.Minute
+		rc.Warmup = 30 * sim.Second
+		rc.SampleEvery = 30 * sim.Second
+		return rc
+	}
+	return []RunConfig{
+		short(DefaultRunConfig(Proto4B, topo.Mirage(1), 1)),
+		short(DefaultRunConfig(ProtoCTP, topo.Mirage(2), 2)),
+		short(DefaultRunConfig(ProtoMultiHopLQI, topo.Mirage(3), 3)),
+		func() RunConfig {
+			rc := short(DefaultRunConfig(Proto4B, topo.TutorNet(4), 4))
+			rc.TxPowerDBm = -10
+			return rc
+		}(),
+	}
+}
+
+// hexf formats a float with its exact bit pattern so fingerprints cannot
+// hide sub-ulp drift behind decimal rounding.
+func hexf(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func fingerprint(rc RunConfig, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run proto=%v topo=%s seed=%d power=%s dur=%v\n",
+		rc.Protocol, rc.Topo.Name, rc.Seed, hexf(rc.TxPowerDBm), rc.Duration)
+	fmt.Fprintf(&b, "  generated=%d unique=%d dups=%d datatx=%d beacontx=%d events=%d detached=%d\n",
+		res.Generated, res.Unique, res.Duplicates, res.DataTx, res.BeaconTx, res.Events, res.Detached)
+	fmt.Fprintf(&b, "  delivery=%s cost=%s meandepth=%s meanhops=%s\n",
+		hexf(res.DeliveryRatio), hexf(res.Cost), hexf(res.MeanDepth), hexf(res.MeanHops))
+	fmt.Fprintf(&b, "  est=%d/%d/%d\n", res.EstInserted, res.EstReplaced, res.EstRejected)
+	fmt.Fprintf(&b, "  parents=%v\n", res.FinalParents)
+	fmt.Fprintf(&b, "  depths=%v\n", res.FinalDepths)
+	b.WriteString("  pernode=")
+	for i, v := range res.PerNodeDelivery {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(hexf(v))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func TestGoldenRunFingerprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute simulated runs; skipped in -short")
+	}
+	var b strings.Builder
+	for _, rc := range goldenConfigs() {
+		b.WriteString(fingerprint(rc, Run(rc)))
+	}
+	got := b.String()
+
+	const path = "testdata/golden_runs.txt"
+	if *updateGoldens {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update-goldens to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("run fingerprints diverged from pre-kernel goldens.\nThis means an 'exact' fast path changed simulation behavior.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -82,6 +82,14 @@ var ErrBusy = errors.New("mac: transmission in progress")
 type Receiver func(f *packet.Frame, info phy.RxInfo)
 
 // MAC is one node's link layer.
+//
+// At most one Send is in flight, and its backoff → transmission → ack-wait
+// chain needs exactly one pending timeout at a time — so the MAC owns a
+// single reusable operation record and a single persistent timer that it
+// re-arms per stage (sim.Timer.Reschedule), instead of allocating a
+// record, closures and timers per Send. With ~one Send per data packet and
+// per beacon, this removes the largest steady-state allocation source in
+// the simulator.
 type MAC struct {
 	clock *sim.Simulator
 	radio *phy.Radio
@@ -91,11 +99,38 @@ type MAC struct {
 	recv  Receiver
 
 	dsn     uint8
-	cur     *txOp
+	cur     *txOp // nil, or &m.op
+	op      txOp  // the reusable operation record
+	timer   *sim.Timer
 	rxFrame packet.Frame // scratch for the receive path; see onRadioReceive
+
+	// Pooled synchronous acks. An ack's encoded bytes are referenced by
+	// the medium until its transmission leaves the air, so each record
+	// carries the instant it becomes provably unreferenced (busyUntil) and
+	// getAckOp only reuses records strictly past it — no release event,
+	// no allocation per ack. In practice a MAC has at most a couple in
+	// flight, so the pool stays tiny.
+	acks      []*ackOp
+	ackFireFn func(any) // m.fireAck adapter, built once for ScheduleArg
 
 	Stats Stats
 }
+
+// ackOp is one pooled in-flight acknowledgment.
+type ackOp struct {
+	enc       []byte
+	busyUntil sim.Time
+}
+
+// txState names the pending stage of the in-flight operation — what the
+// MAC's timer means when it fires.
+type txState uint8
+
+const (
+	txBackoff txState = iota // waiting to assess the channel
+	txOnAir                  // frame on air; timer fires at its end
+	txAckWait                // frame sent; timer is the ack timeout
+)
 
 type txOp struct {
 	frame    *packet.Frame
@@ -103,15 +138,33 @@ type txOp struct {
 	done     func(TxResult)
 	attempts int
 	awaitAck bool
-	ackTimer *sim.Timer
-	timer    *sim.Timer
+	state    txState
 }
 
 // New builds a MAC bound to a radio. rng drives backoff draws.
 func New(clock *sim.Simulator, radio *phy.Radio, addr packet.Addr, p Params, rng *sim.Rand) *MAC {
 	m := &MAC{clock: clock, radio: radio, addr: addr, p: p, rng: rng}
+	m.timer = clock.NewTimer(m.onTimer)
+	m.ackFireFn = func(a any) { m.fireAck(a.(*ackOp)) }
 	radio.OnReceive(m.onRadioReceive)
 	return m
+}
+
+// onTimer dispatches the in-flight operation's pending stage.
+func (m *MAC) onTimer() {
+	op := m.cur
+	if op == nil {
+		return
+	}
+	switch op.state {
+	case txBackoff:
+		m.tryCCA(op)
+	case txOnAir:
+		m.onTxDone(op)
+	case txAckWait:
+		m.Stats.AckTimeouts++
+		m.finish(op, TxResult{Sent: true, Acked: false, CCAAttempts: op.attempts})
+	}
 }
 
 // Addr returns this node's link-layer address.
@@ -142,15 +195,15 @@ func (m *MAC) Send(f *packet.Frame, done func(TxResult)) error {
 	if err != nil {
 		return err
 	}
-	op := &txOp{
+	m.op = txOp{
 		frame:    f,
 		encoded:  enc,
 		done:     done,
 		awaitAck: f.AckRequest && f.Dst != packet.Broadcast,
+		state:    txBackoff,
 	}
-	m.cur = op
-	op.timer = m.clock.After(m.rng.UniformTime(m.p.InitialBackoffMin, m.p.InitialBackoffMax),
-		func() { m.tryCCA(op) })
+	m.cur = &m.op
+	m.timer.RescheduleAfter(m.rng.UniformTime(m.p.InitialBackoffMin, m.p.InitialBackoffMax))
 	return nil
 }
 
@@ -162,8 +215,7 @@ func (m *MAC) tryCCA(op *txOp) {
 			m.finish(op, TxResult{Sent: false, CCAAttempts: op.attempts})
 			return
 		}
-		op.timer = m.clock.After(m.rng.UniformTime(m.p.CongestionBackoffMin, m.p.CongestionBackoffMax),
-			func() { m.tryCCA(op) })
+		m.timer.RescheduleAfter(m.rng.UniformTime(m.p.CongestionBackoffMin, m.p.CongestionBackoffMax))
 		return
 	}
 	air := m.radio.Transmit(op.encoded)
@@ -172,7 +224,8 @@ func (m *MAC) tryCCA(op *txOp) {
 	} else {
 		m.Stats.TxData++
 	}
-	op.timer = m.clock.After(air, func() { m.onTxDone(op) })
+	op.state = txOnAir
+	m.timer.RescheduleAfter(air)
 }
 
 func (m *MAC) onTxDone(op *txOp) {
@@ -180,10 +233,8 @@ func (m *MAC) onTxDone(op *txOp) {
 		m.finish(op, TxResult{Sent: true, CCAAttempts: op.attempts})
 		return
 	}
-	op.ackTimer = m.clock.After(m.p.AckTimeout, func() {
-		m.Stats.AckTimeouts++
-		m.finish(op, TxResult{Sent: true, Acked: false, CCAAttempts: op.attempts})
-	})
+	op.state = txAckWait
+	m.timer.RescheduleAfter(m.p.AckTimeout)
 }
 
 func (m *MAC) finish(op *txOp, res TxResult) {
@@ -191,11 +242,11 @@ func (m *MAC) finish(op *txOp, res TxResult) {
 		return
 	}
 	m.cur = nil
-	if op.ackTimer != nil {
-		op.ackTimer.Cancel()
-	}
-	if op.done != nil {
-		op.done(res)
+	m.timer.Cancel() // no-op unless an ack arrived ahead of its timeout
+	done := op.done
+	op.frame, op.encoded, op.done = nil, nil, nil // done may start the next Send
+	if done != nil {
+		done(res)
 	}
 }
 
@@ -221,7 +272,7 @@ func (m *MAC) onRadioReceive(data []byte, info phy.RxInfo) {
 		}
 		m.Stats.RxAcks++
 		op := m.cur
-		if op != nil && op.awaitAck && op.ackTimer != nil && op.ackTimer.Active() &&
+		if op != nil && op.awaitAck && op.state == txAckWait && m.timer.Active() &&
 			f.Seq == op.frame.Seq && f.Src == op.frame.Dst {
 			m.finish(op, TxResult{Sent: true, Acked: true, CCAAttempts: op.attempts})
 		}
@@ -244,16 +295,47 @@ func (m *MAC) onRadioReceive(data []byte, info phy.RxInfo) {
 // turnaround. Hardware acks preempt whatever the transmit path is doing
 // short of an actual transmission in progress.
 func (m *MAC) sendAck(of *packet.Frame) {
-	ack := packet.NewAck(of, m.addr)
-	enc, err := ack.Encode()
-	if err != nil {
+	ack := packet.Frame{Type: packet.TypeAck, Seq: of.Seq, Src: m.addr, Dst: of.Src}
+	op := m.getAckOp(ack.EncodedLen())
+	if err := ack.EncodeTo(op.enc); err != nil {
 		panic("mac: ack encode failed: " + err.Error())
 	}
-	m.clock.After(m.p.AckTurnaround, func() {
-		if m.radio.Transmitting() {
-			return // tx collision with our own frame; ack is lost
+	m.clock.ScheduleArg(m.clock.Now()+m.p.AckTurnaround, m.ackFireFn, op)
+}
+
+// getAckOp returns an ack record whose previous transmission is provably
+// off the air (strictly past busyUntil — at the boundary instant the
+// medium's finish sweep may not have run yet), growing the pool when every
+// record is still in flight.
+func (m *MAC) getAckOp(encLen int) *ackOp {
+	now := m.clock.Now()
+	var op *ackOp
+	for _, a := range m.acks {
+		if a.busyUntil < now {
+			op = a
+			break
 		}
-		m.radio.Transmit(enc)
-		m.Stats.TxAcks++
-	})
+	}
+	if op == nil {
+		op = &ackOp{}
+		m.acks = append(m.acks, op)
+	}
+	if cap(op.enc) < encLen {
+		op.enc = make([]byte, encLen)
+	}
+	op.enc = op.enc[:encLen]
+	// In flight from this moment; fireAck tightens the bound once the
+	// actual airtime is known.
+	op.busyUntil = sim.Never
+	return op
+}
+
+func (m *MAC) fireAck(op *ackOp) {
+	if m.radio.Transmitting() {
+		op.busyUntil = m.clock.Now() - 1 // tx collision with our own frame; ack is lost
+		return
+	}
+	air := m.radio.Transmit(op.enc)
+	m.Stats.TxAcks++
+	op.busyUntil = m.clock.Now() + air
 }

@@ -95,13 +95,28 @@ func (f *Frame) EncodedLen() int { return FrameHeaderLen + len(f.Payload) + Fram
 
 // Encode serializes the frame, appending a CRC-16 over header and payload.
 func (f *Frame) Encode() ([]byte, error) {
-	if len(f.Payload) > MaxPayload {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTooLong, len(f.Payload))
-	}
 	buf := make([]byte, f.EncodedLen())
+	if err := f.EncodeTo(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// EncodeTo serializes the frame into buf, which must be exactly
+// EncodedLen() bytes. It writes the same bytes Encode returns; callers
+// with a reusable buffer (the MAC's pooled acks) use it to serialize
+// without allocating.
+func (f *Frame) EncodeTo(buf []byte) error {
+	if len(f.Payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrTooLong, len(f.Payload))
+	}
+	if len(buf) != f.EncodedLen() {
+		return fmt.Errorf("packet: EncodeTo buffer is %d bytes, frame needs %d", len(buf), f.EncodedLen())
+	}
 	buf[0] = byte(f.Type)
+	buf[1] = 0 // buf may be reused; every byte must be written, not OR'd
 	if f.AckRequest {
-		buf[1] |= flagAckRequest
+		buf[1] = flagAckRequest
 	}
 	buf[2] = f.Seq
 	binary.BigEndian.PutUint16(buf[3:], uint16(f.Src))
@@ -110,7 +125,7 @@ func (f *Frame) Encode() ([]byte, error) {
 	copy(buf[FrameHeaderLen:], f.Payload)
 	crc := CRC16(buf[:len(buf)-FrameTrailerLen])
 	binary.BigEndian.PutUint16(buf[len(buf)-FrameTrailerLen:], crc)
-	return buf, nil
+	return nil
 }
 
 // DecodeFrame parses and validates an encoded frame. The payload is copied;

@@ -105,8 +105,41 @@ type Channel struct {
 	staticGainLin []float64 // n*n: 10^(staticGainDB/10)
 	noiseMWStatic []float64 // per node: floor + noise figure in milliwatts
 
+	// Dynamics bookkeeping. AddNoiseModifier bumps noiseEpoch, which
+	// invalidates the same-instant noise memo below; SetModifier maintains
+	// linkModCount, the gain side's invalidation mechanism — while it is
+	// zero (no scripted link dynamics installed, the common case for every
+	// non-scenario run) the per-query fast path skips the n*n
+	// modifier-slot load entirely. There is no gain-side memo to version:
+	// same-instant gain repeats were measured too rare to pay for one.
+	noiseEpoch   uint32
+	linkModCount int
+
+	// Same-instant noise memo: a (time, epoch)-keyed cache of the last
+	// computed noise power per receiver. A hit can only occur for a
+	// repeated query at an identical timestamp, where the OU and
+	// Gilbert–Elliott processes are no-ops by construction (dt == 0 draws
+	// nothing), so the memo is exactness-transparent: it never changes a
+	// value or the random-stream consumption. (A per-link gain memo was
+	// measured too: same-instant gain repeats are so rare that its n²
+	// stores cost more than the hits saved, so only the noise path keeps
+	// a memo.)
+	noiseMemo []chanMemo // n
+
+	// Per-family OU transition-coefficient caches; see ouCoeffs.
+	fadeCo  ouCoeffs
+	noiseCo ouCoeffs
+
 	noiseRng *sim.Rand
 	fadeRng  *sim.Rand
+}
+
+// chanMemo is one slot of the same-instant memo. epoch 0 is never current
+// (epochs start at 1), so the zero value is invalid without initialization.
+type chanMemo struct {
+	at    sim.Time
+	epoch uint32
+	val   float64
 }
 
 // NewChannel builds the channel for nodes separated by dist (meters,
@@ -166,6 +199,8 @@ func NewChannel(dist [][]float64, extraLossDB [][]float64, p Params, seeds *sim.
 	for i := 0; i < n; i++ {
 		c.noiseMWStatic[i] = DBmToMilliwatts(p.NoiseFloorDBm + c.noiseFigDB[i])
 	}
+	c.noiseEpoch = 1
+	c.noiseMemo = make([]chanMemo, n)
 	return c
 }
 
@@ -183,10 +218,12 @@ func (c *Channel) GainDB(tx, rx int, t sim.Time) float64 {
 	if c.p.FadeSigmaDB > 0 {
 		// Fading is a property of the physical path: use one process per
 		// unordered pair so the two directions fade together.
-		g += c.fadeState(tx, rx).sample(t, c.p.FadeTau, c.p.FadeSigmaDB, c.fadeRng)
+		g += c.fadeState(tx, rx).sample(t, c.p.FadeTau, c.p.FadeSigmaDB, c.fadeRng, &c.fadeCo)
 	}
-	if m := c.modifiers[tx*c.n+rx]; m != nil {
-		g -= m.ExtraLossDB(t)
+	if c.linkModCount > 0 {
+		if m := c.modifiers[tx*c.n+rx]; m != nil {
+			g -= m.ExtraLossDB(t)
+		}
 	}
 	return g
 }
@@ -195,15 +232,20 @@ func (c *Channel) GainDB(tx, rx int, t sim.Time) float64 {
 // static gain costs nothing and only the time-varying dB terms (fading,
 // modifiers) pay one exp. It samples the same fading process in the same
 // order as GainDB, so the two are interchangeable without perturbing the
-// random streams.
+// random streams. While no link modifiers are installed (linkModCount ==
+// 0, maintained by SetModifier) the modifier layer — an n²-slot pointer
+// load per query — is skipped entirely.
 func (c *Channel) GainLin(tx, rx int, t sim.Time) float64 {
-	g := c.staticGainLin[tx*c.n+rx]
+	idx := tx*c.n + rx
+	g := c.staticGainLin[idx]
 	varDB := 0.0
 	if c.p.FadeSigmaDB > 0 {
-		varDB = c.fadeState(tx, rx).sample(t, c.p.FadeTau, c.p.FadeSigmaDB, c.fadeRng)
+		varDB = c.fadeState(tx, rx).sample(t, c.p.FadeTau, c.p.FadeSigmaDB, c.fadeRng, &c.fadeCo)
 	}
-	if m := c.modifiers[tx*c.n+rx]; m != nil {
-		varDB -= m.ExtraLossDB(t)
+	if c.linkModCount > 0 {
+		if lm := c.modifiers[idx]; lm != nil {
+			varDB -= lm.ExtraLossDB(t)
+		}
 	}
 	if varDB != 0 {
 		g *= DBToLinear(varDB)
@@ -227,7 +269,7 @@ func (c *Channel) StaticGainDB(tx, rx int) float64 { return c.staticGainDB[tx*c.
 func (c *Channel) NoiseDBm(rx int, t sim.Time) float64 {
 	nz := c.p.NoiseFloorDBm + c.noiseFigDB[rx]
 	if c.p.NoiseDriftSigmaDB > 0 {
-		nz += c.noiseDrift[rx].sample(t, c.p.NoiseDriftTau, c.p.NoiseDriftSigmaDB, c.noiseRng)
+		nz += c.noiseDrift[rx].sample(t, c.p.NoiseDriftTau, c.p.NoiseDriftSigmaDB, c.noiseRng, &c.noiseCo)
 	}
 	if c.bursts != nil {
 		nz += c.bursts[rx].ExtraLossDB(t)
@@ -242,12 +284,17 @@ func (c *Channel) NoiseDBm(rx int, t sim.Time) float64 {
 
 // NoiseMW is NoiseDBm in milliwatts: the static floor + noise figure come
 // from a precomputed table and only the drift/burst dB excursion pays a
-// conversion. Sampling order matches NoiseDBm exactly.
+// conversion. Sampling order matches NoiseDBm exactly, and repeated
+// queries at one instant hit the epoch-versioned memo.
 func (c *Channel) NoiseMW(rx int, t sim.Time) float64 {
+	memo := &c.noiseMemo[rx]
+	if memo.at == t && memo.epoch == c.noiseEpoch {
+		return memo.val
+	}
 	mw := c.noiseMWStatic[rx]
 	varDB := 0.0
 	if c.p.NoiseDriftSigmaDB > 0 {
-		varDB = c.noiseDrift[rx].sample(t, c.p.NoiseDriftTau, c.p.NoiseDriftSigmaDB, c.noiseRng)
+		varDB = c.noiseDrift[rx].sample(t, c.p.NoiseDriftTau, c.p.NoiseDriftSigmaDB, c.noiseRng, &c.noiseCo)
 	}
 	if c.bursts != nil {
 		varDB += c.bursts[rx].ExtraLossDB(t)
@@ -260,16 +307,26 @@ func (c *Channel) NoiseMW(rx int, t sim.Time) float64 {
 	if varDB != 0 {
 		mw *= DBToLinear(varDB)
 	}
+	*memo = chanMemo{at: t, epoch: c.noiseEpoch, val: mw}
 	return mw
 }
 
 // SetModifier installs (or clears, with nil) a scripted loss process on the
-// directed link tx→rx.
+// directed link tx→rx. linkModCount tracks how many modifiers are
+// installed so the gain fast path can skip the modifier layer entirely
+// while the count is zero.
 func (c *Channel) SetModifier(tx, rx int, m LinkModifier) {
 	if tx < 0 || tx >= c.n || rx < 0 || rx >= c.n {
 		panic(fmt.Sprintf("phy: SetModifier(%d,%d) out of range n=%d", tx, rx, c.n))
 	}
-	c.modifiers[tx*c.n+rx] = m
+	idx := tx*c.n + rx
+	switch old := c.modifiers[idx]; {
+	case old == nil && m != nil:
+		c.linkModCount++
+	case old != nil && m == nil:
+		c.linkModCount--
+	}
+	c.modifiers[idx] = m
 }
 
 // SetModifierBoth installs the same modifier on both directions of a link.
@@ -291,6 +348,7 @@ func (c *Channel) AddNoiseModifier(rx int, m LinkModifier) {
 		c.noiseMods = make([][]LinkModifier, c.n)
 	}
 	c.noiseMods[rx] = append(c.noiseMods[rx], m)
+	c.noiseEpoch++
 }
 
 // ExpectedSNRdB returns the static (no fading, no drift) SNR for a packet

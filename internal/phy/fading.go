@@ -1,6 +1,7 @@
 package phy
 
 import (
+	"fmt"
 	"math"
 
 	"fourbit/internal/sim"
@@ -19,9 +20,36 @@ type ouState struct {
 	init  bool
 }
 
+const (
+	ouCoeffBits  = 3
+	ouCoeffSlots = 1 << ouCoeffBits
+)
+
+// ouCoeffs memoizes the OU transition coefficients of one process family
+// (one fixed tau/sigma pair): decay = e^(−dt/τ) and the shock scale
+// σ·sqrt(1 − decay²) depend only on the integer step dt, and steps repeat
+// heavily — every receiver of a transmission advances its process from the
+// same previous event, so a whole candidate sweep shares one or two dt
+// values. A small direct-mapped cache keyed by dt therefore eliminates the
+// exp+sqrt pair from most hot-path queries. It is exactness-transparent:
+// a hit replays coefficients computed by the identical expressions on the
+// identical inputs, so the simulation's floats do not move by one bit.
+type ouCoeffs struct {
+	dt    [ouCoeffSlots]sim.Time // 0 = empty (sample only probes for dt > 0)
+	decay [ouCoeffSlots]float64
+	diff  [ouCoeffSlots]float64
+}
+
+// slot maps a step to its cache slot: a multiplicative hash so steps that
+// differ only in low-order ticks spread across slots.
+func (c *ouCoeffs) slot(dt sim.Time) uint {
+	return uint(uint64(dt) * 0x9e3779b97f4a7c15 >> (64 - ouCoeffBits))
+}
+
 // sample advances the process to time t and returns its value. sigma is the
-// stationary standard deviation and tau the relaxation time.
-func (o *ouState) sample(t sim.Time, tau sim.Time, sigma float64, rng *sim.Rand) float64 {
+// stationary standard deviation and tau the relaxation time; co caches the
+// per-step transition coefficients for this (tau, sigma) family.
+func (o *ouState) sample(t sim.Time, tau sim.Time, sigma float64, rng *sim.Rand, co *ouCoeffs) float64 {
 	if sigma == 0 || tau <= 0 {
 		return 0
 	}
@@ -35,8 +63,12 @@ func (o *ouState) sample(t sim.Time, tau sim.Time, sigma float64, rng *sim.Rand)
 	if dt <= 0 {
 		return o.value
 	}
-	a := math.Exp(-float64(dt) / float64(tau))
-	o.value = o.value*a + rng.Normal(0, sigma*math.Sqrt(1-a*a))
+	i := co.slot(dt)
+	if co.dt[i] != dt {
+		a := math.Exp(-float64(dt) / float64(tau))
+		co.dt[i], co.decay[i], co.diff[i] = dt, a, sigma*math.Sqrt(1-a*a)
+	}
+	o.value = o.value*co.decay[i] + rng.Normal(0, co.diff[i])
 	o.last = t
 	return o.value
 }
@@ -52,28 +84,60 @@ func (o *ouState) sample(t sim.Time, tau sim.Time, sigma float64, rng *sim.Rand)
 // marginal: with λ = 1/MeanGood, μ = 1/MeanBad and πG = μ/(λ+μ),
 // P(Good at t | state at t0) = πG + (1{Good at t0} − πG)·e^(−(λ+μ)(t−t0)).
 type GilbertElliott struct {
+	// BadLossDB, MeanGood and MeanBad are construction-time parameters,
+	// exported for inspection only: the transition rates are derived from
+	// them once in NewGilbertElliott, so mutating them afterwards does not
+	// change the chain's dynamics. Build a new process instead.
 	BadLossDB float64  // extra attenuation in the Bad state
 	MeanGood  sim.Time // mean sojourn in Good
 	MeanBad   sim.Time // mean sojourn in Bad
 	From      sim.Time // activation window start
-	Until     sim.Time // activation window end (0 = forever)
+	Until     sim.Time // activation window end (0 = forever); set via Window
 
 	rng     *sim.Rand
 	state   bool // true = Good
 	last    sim.Time
 	started bool
+
+	// Transition rates derived from the sojourn means once at
+	// construction — ExtraLossDB sits on the per-reception noise path, and
+	// the three divisions per query were measurable there.
+	lambda  float64 // Good -> Bad rate, 1/MeanGood
+	mu      float64 // Bad -> Good rate, 1/MeanBad
+	piGood  float64 // stationary P(Good) = mu/(lambda+mu)
+	rateSum float64 // lambda + mu
+
+	// One-entry decay memo, same trick as ouCoeffs: queries arrive on the
+	// regular cadence of reception events, so the step t−last repeats and
+	// e^(−(λ+μ)·dt) can be replayed instead of recomputed. memoStep == 0
+	// means empty (the memo is only consulted for positive steps).
+	memoStep  sim.Time
+	memoDecay float64
 }
 
 // NewGilbertElliott returns a burst process driven by rng. The process is
 // active only inside [from, until); outside the window it adds no loss and
-// holds the chain in Good.
+// holds the chain in Good. Both sojourn means must be positive: a zero
+// mean would turn into an infinite transition rate and feed NaN
+// probabilities into the chain's Bernoulli draws, so it panics here, at
+// the construction site that can name the bad parameter.
 func NewGilbertElliott(badLossDB float64, meanGood, meanBad sim.Time, rng *sim.Rand) *GilbertElliott {
+	if meanGood <= 0 || meanBad <= 0 {
+		panic(fmt.Sprintf("phy: GilbertElliott sojourn means must be positive (meanGood=%v meanBad=%v)",
+			meanGood, meanBad))
+	}
+	lambda := 1 / meanGood.Seconds()
+	mu := 1 / meanBad.Seconds()
 	return &GilbertElliott{
 		BadLossDB: badLossDB,
 		MeanGood:  meanGood,
 		MeanBad:   meanBad,
 		rng:       rng,
 		state:     true,
+		lambda:    lambda,
+		mu:        mu,
+		piGood:    mu / (lambda + mu),
+		rateSum:   lambda + mu,
 	}
 }
 
@@ -89,20 +153,21 @@ func (g *GilbertElliott) ExtraLossDB(t sim.Time) float64 {
 		g.state, g.started = true, false
 		return 0
 	}
-	lambda := 1 / g.MeanGood.Seconds() // Good -> Bad rate
-	mu := 1 / g.MeanBad.Seconds()      // Bad -> Good rate
-	piGood := mu / (lambda + mu)
 	if !g.started {
 		g.started = true
 		g.last = t
-		g.state = g.rng.Bernoulli(piGood)
-	} else if dt := (t - g.last).Seconds(); dt > 0 {
-		decay := math.Exp(-(lambda + mu) * dt)
+		g.state = g.rng.Bernoulli(g.piGood)
+	} else if step := t - g.last; step > 0 {
+		decay := g.memoDecay
+		if step != g.memoStep {
+			decay = math.Exp(-g.rateSum * step.Seconds())
+			g.memoStep, g.memoDecay = step, decay
+		}
 		var pGood float64
 		if g.state {
-			pGood = piGood + (1-piGood)*decay
+			pGood = g.piGood + (1-g.piGood)*decay
 		} else {
-			pGood = piGood - piGood*decay
+			pGood = g.piGood - g.piGood*decay
 		}
 		g.state = g.rng.Bernoulli(pGood)
 		g.last = t
@@ -115,7 +180,5 @@ func (g *GilbertElliott) ExtraLossDB(t sim.Time) float64 {
 
 // StationaryBadFraction returns the long-run fraction of time in Bad.
 func (g *GilbertElliott) StationaryBadFraction() float64 {
-	lambda := 1 / g.MeanGood.Seconds()
-	mu := 1 / g.MeanBad.Seconds()
-	return lambda / (lambda + mu)
+	return g.lambda / g.rateSum
 }

@@ -61,6 +61,9 @@ type Medium struct {
 	ccaMW      float64
 	interfMW   []float64
 	powFree    [][]float64
+	txFree     []*transmission // recycled transmission records
+	finishFn   func(any)       // m.finishTx adapter, built once for ScheduleArg
+	prrT       []*PRRTable     // per frame length, filled lazily from the shared cache
 
 	onTransmit func(from int, data []byte)
 
@@ -104,6 +107,7 @@ func NewMedium(clock *sim.Simulator, ch *Channel, rp RadioParams, lqip LQIParams
 		rng:   seeds.Stream("phy/medium"),
 	}
 	n := ch.N()
+	m.finishFn = func(a any) { m.finishTx(a.(*transmission)) }
 	m.captureLin = DBToLinear(rp.CaptureDB)
 	m.detectMW = DBmToMilliwatts(rp.DetectionDBm)
 	m.sensMW = DBmToMilliwatts(rp.SensitivityDBm)
@@ -168,6 +172,44 @@ func (m *Medium) getPowBuf() []float64 {
 
 func (m *Medium) putPowBuf(b []float64) { m.powFree = append(m.powFree, b) }
 
+// getTx returns a zeroed transmission record, reusing a pooled one when
+// available. finishTx releases records: by the time it returns, every
+// reception of the frame is resolved and no pointer to the record survives
+// (receptions locked on it are cleared in its candidate sweep).
+func (m *Medium) getTx() *transmission {
+	if n := len(m.txFree); n > 0 {
+		t := m.txFree[n-1]
+		m.txFree = m.txFree[:n-1]
+		*t = transmission{}
+		return t
+	}
+	return &transmission{}
+}
+
+// prrDecide resolves a reception draw through the certified PRR table for
+// the frame's length (bit-identical to rng.Bernoulli(PRR(...)); see
+// PRRTable.Decide), falling back to the analytic function for lengths the
+// table does not serve. The per-medium slice keeps the shared-cache lookup
+// off the per-reception path.
+func (m *Medium) prrDecide(sinrDB float64, frameBytes int) bool {
+	if frameBytes > 0 && frameBytes < len(m.prrT) {
+		if tb := m.prrT[frameBytes]; tb != nil {
+			return tb.Decide(sinrDB, m.rng)
+		}
+	}
+	tb := PRRTableFor(frameBytes)
+	if tb == nil {
+		return m.rng.Bernoulli(PRR(sinrDB, frameBytes))
+	}
+	if frameBytes >= len(m.prrT) {
+		grown := make([]*PRRTable, frameBytes+1)
+		copy(grown, m.prrT)
+		m.prrT = grown
+	}
+	m.prrT[frameBytes] = tb
+	return tb.Decide(sinrDB, m.rng)
+}
+
 func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 	if r.transmitting {
 		panic(fmt.Sprintf("phy: radio %d Transmit while transmitting", r.id))
@@ -184,20 +226,20 @@ func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 		// path in practice (ChannelClear is false while down), but the
 		// contract stays safe: the "transmission" occupies the radio for its
 		// airtime and touches no receiver.
-		t := &transmission{from: r.id, end: now + air, idx: len(m.active), powMW: m.getPowBuf()}
+		t := m.getTx()
+		t.from, t.end, t.idx, t.powMW = r.id, now+air, len(m.active), m.getPowBuf()
 		m.active = append(m.active, t)
 		r.transmitting = true
-		m.clock.At(t.end, func() { m.finishTx(t) })
+		m.clock.ScheduleArg(t.end, m.finishFn, t)
 		return air
 	}
-	t := &transmission{
-		from:     r.id,
-		data:     data,
-		powerDBm: r.txPowerDBm,
-		end:      now + air,
-		idx:      len(m.active),
-		powMW:    m.getPowBuf(),
-	}
+	t := m.getTx()
+	t.from = r.id
+	t.data = data
+	t.powerDBm = r.txPowerDBm
+	t.end = now + air
+	t.idx = len(m.active)
+	t.powMW = m.getPowBuf()
 	m.active = append(m.active, t)
 	r.transmitting = true
 	m.Stats.Transmissions++
@@ -244,7 +286,7 @@ func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 	// The finish event is scheduled before any caller-side completion event
 	// at the same deadline, so receivers see the frame before the sender's
 	// MAC reacts to its own completion (FIFO ordering at equal times).
-	m.clock.At(t.end, func() { m.finishTx(t) })
+	m.clock.ScheduleArg(t.end, m.finishFn, t)
 	return air
 }
 
@@ -295,8 +337,7 @@ func (m *Medium) finishTx(t *transmission) {
 		if jitter := m.ch.PacketJitterSigmaDB(); jitter > 0 {
 			sinrDB += m.rng.Normal(0, jitter)
 		}
-		prr := PRR(sinrDB, len(t.data))
-		if m.rng.Bernoulli(prr) {
+		if m.prrDecide(sinrDB, len(t.data)) {
 			lqi, white := m.lqip.Synthesize(sinrDB, m.rng)
 			info := RxInfo{
 				At:      now,
@@ -322,7 +363,8 @@ func (m *Medium) finishTx(t *transmission) {
 		}
 	}
 	m.putPowBuf(t.powMW)
-	t.powMW = nil
+	*t = transmission{} // drop the data reference before pooling
+	m.txFree = append(m.txFree, t)
 }
 
 // Radio is one node's transceiver. MAC layers drive it through Transmit and

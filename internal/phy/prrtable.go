@@ -1,0 +1,217 @@
+package phy
+
+import (
+	"fmt"
+	"sync"
+
+	"fourbit/internal/sim"
+)
+
+// This file implements the reception-path fast kernel: a quantized
+// SINR→PRR lookup table in the tradition of TOSSIM and Zuniga &
+// Krishnamachari's link-model tooling, which precompute reception curves
+// because the analytic 802.15.4 BER series (15 math.Exp calls plus a
+// math.Pow per evaluation) dominates per-packet cost.
+//
+// Unlike a plain lookup table, the table's decision path is *certified
+// exact*: every cell stores rigorous lower/upper bounds on the analytic
+// PRR over that cell, and the reception draw compares the uniform sample
+// against the bounds first. Only when the sample lands inside the bounds
+// gap (probability = the cell's PRR span, <2.5% in the waterfall and ~0
+// elsewhere) does the kernel fall back to the analytic function — so the
+// Bernoulli outcome, and the number of random draws consumed, are
+// bit-identical to evaluating the analytic PRR on every packet. Figure
+// outputs do not move by one bit; see TestGoldenRunFingerprints.
+//
+// The interpolated Lookup path is the conventional approximate query
+// (linear interpolation between exact grid samples, error ≤ ~2.5e-4, see
+// TestPRRTableLookupAccuracy); it serves analysis tooling that wants
+// cheap curve evaluation and is not used for reception decisions.
+
+const (
+	// Table domain. Above prrTableMaxDB the BER series underflows so far
+	// that PRR is exactly 1.0 in float64 for any frame length the table
+	// accepts (the build panics otherwise); below prrTableMinDB the
+	// kernel falls back to the analytic function (receptions jammed that
+	// deep are rare — heavy same-cell collisions only).
+	prrTableMinDB      = -40.0
+	prrTableMaxDB      = 8.0
+	prrTableStepsPerDB = 128 // 1/128 dB cells: exactly representable, shift-friendly
+	prrTableCells      = int((prrTableMaxDB - prrTableMinDB) * prrTableStepsPerDB)
+
+	// prrBoundsEps widens every certified bound beyond the float-level
+	// error of the analytic evaluation (relative error ~1e-13; see the
+	// error budget in docs/ARCHITECTURE.md). Widening costs only fallback
+	// probability, never correctness.
+	prrBoundsEps = 1e-9
+
+	// prrMaxTableBytes bounds the frame lengths served by tables. Beyond
+	// it (no real 802.15.4 frame is within two orders of magnitude) the
+	// medium uses the analytic path directly.
+	prrMaxTableBytes = 4096
+)
+
+// Cell classification for the exact decision path.
+const (
+	prrCellSubOne uint8 = iota // PRR certainly < 1.0: draw, compare against bounds
+	prrCellOne                 // PRR certainly == 1.0: deliver, no draw
+	prrCellExact               // threshold/underflow neighborhood: analytic evaluation
+)
+
+// prrCell carries one cell's certified bounds and decision class in a
+// single record, so Decide touches one cache line per draw instead of
+// three parallel slices.
+type prrCell struct {
+	lo, hi float64 // certified bounds on PRR over the cell
+	kind   uint8   // decision class
+}
+
+// PRRTable is the precomputed reception curve for one frame length.
+type PRRTable struct {
+	frameBytes int
+	val        []float64 // exact PRR at the prrTableCells+1 grid points
+	cell       []prrCell // per-cell decision data
+}
+
+// FrameBytes returns the frame length this table was built for.
+func (t *PRRTable) FrameBytes() int { return t.frameBytes }
+
+// buildPRRTable samples the analytic PRR over the grid and certifies
+// per-cell bounds. PRR is strictly increasing in SINR, so the exact values
+// at a cell's edges bound the analytic function over the cell; prrBoundsEps
+// absorbs the evaluation's own float error.
+func buildPRRTable(frameBytes int) *PRRTable {
+	t := &PRRTable{
+		frameBytes: frameBytes,
+		val:        make([]float64, prrTableCells+1),
+		cell:       make([]prrCell, prrTableCells),
+	}
+	const step = 1.0 / prrTableStepsPerDB
+	for g := range t.val {
+		t.val[g] = PRR(prrTableMinDB+float64(g)*step, frameBytes)
+	}
+	if t.val[prrTableCells] != 1 {
+		// Analytically impossible for frameBytes <= prrMaxTableBytes (the
+		// BER series is below 2^-54 above +8 dB); a failure here means the
+		// golden reference changed and the domain must be revisited.
+		panic(fmt.Sprintf("phy: PRR(%v dB, %d bytes) = %v, table domain does not saturate",
+			prrTableMaxDB, frameBytes, t.val[prrTableCells]))
+	}
+	// oneFrom is the lowest grid index from which every sampled value is
+	// exactly 1.0. The true ==1.0 threshold of the float function lies
+	// within one cell of it (BER moves ~7% per cell near the threshold,
+	// vastly above its ~1e-13 relative evaluation noise), so cells two or
+	// more grid steps away are certified; the neighborhood stays exact.
+	oneFrom := prrTableCells
+	for oneFrom > 0 && t.val[oneFrom-1] == 1 {
+		oneFrom--
+	}
+	// zeroTo is the highest grid index whose sampled value is exactly 0
+	// (−1 if the curve is positive over the whole domain; long frames
+	// underflow to 0 where BER clamps at 0.5). The symmetric concern to
+	// the ==1.0 threshold: Bernoulli(0) consumes no draw, so any cell
+	// that might contain an exact zero must stay on the analytic path.
+	// Cells two or more grid steps above zeroTo are certified strictly
+	// positive by the same monotonicity-vs-float-noise argument as above.
+	zeroTo := -1
+	for zeroTo+1 <= prrTableCells && t.val[zeroTo+1] == 0 {
+		zeroTo++
+	}
+	for i := 0; i < prrTableCells; i++ {
+		c := &t.cell[i]
+		c.lo = t.val[i] - prrBoundsEps
+		if c.lo < 0 {
+			c.lo = 0
+		}
+		c.hi = t.val[i+1] + prrBoundsEps
+		if c.hi > 1 {
+			c.hi = 1
+		}
+		switch {
+		case i >= oneFrom+2:
+			c.kind = prrCellOne
+		case i+1 <= oneFrom-2 && i >= zeroTo+2:
+			c.kind = prrCellSubOne
+		default:
+			c.kind = prrCellExact
+		}
+	}
+	return t
+}
+
+// Lookup returns the linearly-interpolated PRR at sinrDB — the cheap
+// approximate query for analysis and planning tools. Its error against the
+// analytic PRR is bounded by the curve's curvature over one 1/128 dB cell
+// (≤ ~2.5e-4; pinned to 1e-3 by TestPRRTableLookupAccuracy). Reception
+// decisions never use it; they go through Decide.
+func (t *PRRTable) Lookup(sinrDB float64) float64 {
+	if sinrDB >= prrTableMaxDB {
+		return 1
+	}
+	if sinrDB <= prrTableMinDB {
+		return t.val[0]
+	}
+	pos := (sinrDB - prrTableMinDB) * prrTableStepsPerDB
+	i := int(pos)
+	if i >= prrTableCells { // guard the rounding edge at the domain top
+		i = prrTableCells - 1
+	}
+	frac := pos - float64(i)
+	return t.val[i] + frac*(t.val[i+1]-t.val[i])
+}
+
+// Decide performs the reception Bernoulli draw for a frame heard at
+// sinrDB, bit-identical to rng.Bernoulli(PRR(sinrDB, frameBytes)) in both
+// outcome and random-stream consumption: certainly-delivered cells consume
+// no draw (as Bernoulli(1) does not), certainly-sub-one cells consume
+// exactly one draw and resolve it against the certified bounds, and only
+// draws landing inside a cell's bounds gap — or SINRs outside the table
+// domain — pay for the analytic function.
+func (t *PRRTable) Decide(sinrDB float64, rng *sim.Rand) bool {
+	if sinrDB >= prrTableMaxDB {
+		return true // PRR is exactly 1.0 here; Bernoulli(1) draws nothing
+	}
+	if sinrDB < prrTableMinDB {
+		return rng.Bernoulli(PRR(sinrDB, t.frameBytes))
+	}
+	i := int((sinrDB - prrTableMinDB) * prrTableStepsPerDB)
+	if i >= prrTableCells {
+		i = prrTableCells - 1
+	}
+	c := &t.cell[i]
+	switch c.kind {
+	case prrCellOne:
+		return true
+	case prrCellExact:
+		return rng.Bernoulli(PRR(sinrDB, t.frameBytes))
+	}
+	u := rng.Float64()
+	if u < c.lo {
+		return true
+	}
+	if u >= c.hi {
+		return false
+	}
+	return u < PRR(sinrDB, t.frameBytes)
+}
+
+// prrTableCache shares built tables process-wide: the curve depends only
+// on the frame length, so concurrent experiment runs (and every run of a
+// sweep) reuse one table per length instead of rebuilding ~50 KB of curve
+// per Medium.
+var prrTableCache sync.Map // int → *PRRTable
+
+// PRRTableFor returns the shared reception-curve table for frameBytes,
+// building it on first use, or nil when the length is out of the table
+// range (non-positive, or beyond prrMaxTableBytes) and callers must use
+// the analytic PRR.
+func PRRTableFor(frameBytes int) *PRRTable {
+	if frameBytes <= 0 || frameBytes > prrMaxTableBytes {
+		return nil
+	}
+	if t, ok := prrTableCache.Load(frameBytes); ok {
+		return t.(*PRRTable)
+	}
+	t, _ := prrTableCache.LoadOrStore(frameBytes, buildPRRTable(frameBytes))
+	return t.(*PRRTable)
+}

@@ -1,0 +1,172 @@
+package sim
+
+import "testing"
+
+// The pooled scheduling family (Schedule/ScheduleArg, NewTimer+Reschedule)
+// must be behaviorally indistinguishable from At/After — same time order,
+// same FIFO tie-breaking across both families — while recycling Timers.
+// These tests pin the contract the MAC and medium fast paths rely on.
+
+func TestScheduleFiresInTimeOrder(t *testing.T) {
+	s := New(1)
+	var got []Time
+	for _, at := range []Time{4 * Second, 1 * Second, 3 * Second, 2 * Second} {
+		s.Schedule(at, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	want := []Time{Second, 2 * Second, 3 * Second, 4 * Second}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScheduleAndAtShareFIFOOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 12; i++ {
+		i := i
+		if i%2 == 0 {
+			s.Schedule(Second, func() { order = append(order, i) })
+		} else {
+			s.At(Second, func() { order = append(order, i) })
+		}
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (both families share one tie-break sequence)", i, v, i)
+		}
+	}
+}
+
+func TestScheduleArgPassesArgument(t *testing.T) {
+	s := New(1)
+	type payload struct{ n int }
+	p := &payload{n: 7}
+	var got *payload
+	s.ScheduleArg(Second, func(a any) { got = a.(*payload) }, p)
+	s.Run()
+	if got != p {
+		t.Fatalf("callback got %v, want the scheduled payload", got)
+	}
+}
+
+// TestPooledTimersAreRecycled schedules from inside callbacks so the free
+// list is exercised: after the first event fires, every subsequent
+// no-handle event must reuse its Timer rather than allocate.
+func TestPooledTimersAreRecycled(t *testing.T) {
+	s := New(1)
+	fired := 0
+	var next func()
+	next = func() {
+		fired++
+		if fired < 100 {
+			s.Schedule(s.Now()+Second, next)
+		}
+	}
+	s.Schedule(Second, next)
+	s.Run()
+	if fired != 100 {
+		t.Fatalf("fired %d events, want 100", fired)
+	}
+	if n := len(s.free); n != 1 {
+		t.Fatalf("free list holds %d timers, want 1 (one timer cycling)", n)
+	}
+}
+
+func TestNewTimerBornUnarmed(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.NewTimer(func() { fired = true })
+	if tm.Active() {
+		t.Fatal("fresh NewTimer is Active; want unarmed")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("unarmed timer fired")
+	}
+}
+
+func TestRescheduleArmsAndMoves(t *testing.T) {
+	s := New(1)
+	var fires []Time
+	tm := s.NewTimer(func() { fires = append(fires, s.Now()) })
+
+	// Arm, then move the pending deadline: only the moved time fires.
+	tm.Reschedule(5 * Second)
+	tm.Reschedule(2 * Second)
+	// Re-arm from inside an event after the first firing.
+	s.At(3*Second, func() { tm.RescheduleAfter(4 * Second) })
+	s.Run()
+	want := []Time{2 * Second, 7 * Second}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestRescheduleAfterCancelRearms(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.NewTimer(func() { fired = true })
+	tm.Reschedule(Second)
+	tm.Cancel()
+	tm.Reschedule(2 * Second)
+	s.Run()
+	if !fired {
+		t.Fatal("cancelled-then-rescheduled timer did not fire")
+	}
+	if s.Now() != 2*Second {
+		t.Fatalf("fired at %v, want 2s", s.Now())
+	}
+}
+
+// TestRescheduleOrderingMatchesFreshEvent pins the dispatch-order contract:
+// a rescheduled timer ties with other events at the same deadline exactly
+// as if it had been scheduled at the moment of the Reschedule call.
+func TestRescheduleOrderingMatchesFreshEvent(t *testing.T) {
+	s := New(1)
+	var order []string
+	tm := s.NewTimer(func() { order = append(order, "timer") })
+	tm.Reschedule(5 * Second) // pending early arm
+	s.At(Second, func() {
+		s.At(3*Second, func() { order = append(order, "before") })
+		tm.Reschedule(3 * Second) // moved: now ties after "before"
+		s.At(3*Second, func() { order = append(order, "after") })
+	})
+	s.Run()
+	want := []string{"before", "timer", "after"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+}
+
+func TestSchedulePanicsOnNilAndPast(t *testing.T) {
+	s := New(1)
+	mustPanic(t, "nil fn", func() { s.Schedule(Second, nil) })
+	mustPanic(t, "nil arg fn", func() { s.ScheduleArg(Second, nil, 1) })
+	mustPanic(t, "nil NewTimer fn", func() { s.NewTimer(nil) })
+	s.At(2*Second, func() {
+		mustPanic(t, "past Schedule", func() { s.Schedule(Second, func() {}) })
+	})
+	s.Run()
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}

@@ -53,6 +53,14 @@ func (q *eventQueue) peek() *Timer {
 	return q.items[0]
 }
 
+// fix re-establishes heap order after the item at position i changed its
+// key — the in-place move behind Timer.Reschedule.
+func (q *eventQueue) fix(i int) {
+	if !q.down(i) {
+		q.up(i)
+	}
+}
+
 // remove deletes the event at heap position i.
 func (q *eventQueue) remove(i int) {
 	n := len(q.items) - 1

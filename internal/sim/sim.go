@@ -5,6 +5,13 @@ import "fmt"
 // Simulator owns the virtual clock and the event queue. It is not safe for
 // concurrent use: the whole simulation runs single-threaded, which is what
 // makes runs bit-for-bit reproducible.
+//
+// Two scheduling families exist. At/After/Every return a *Timer handle the
+// caller may Cancel at any point, so those Timers are never recycled. The
+// pooled family — Schedule/ScheduleArg, which return no handle, and
+// NewTimer+Reschedule, which reuse one handle for a timer's whole life —
+// keeps steady-state event scheduling allocation-free: fired no-handle
+// Timers return to a free list, and rescheduling re-arms in place.
 type Simulator struct {
 	now     Time
 	queue   eventQueue
@@ -12,6 +19,7 @@ type Simulator struct {
 	stopped bool
 	events  uint64 // total events dispatched, for reporting
 	rng     *SeedSpace
+	free    []*Timer // recycled no-handle Timers
 }
 
 // New returns a Simulator whose random streams derive from seed.
@@ -52,6 +60,67 @@ func (s *Simulator) After(d Time, fn func()) *Timer {
 	return s.At(s.now+d, fn)
 }
 
+// Schedule is the pooled fire-and-forget variant of At: no handle is
+// returned, so the Timer cannot be cancelled — and, because nothing can
+// reference it after it fires, it is recycled through the simulator's free
+// list. Dispatch order is identical to At (one shared sequence counter
+// breaks deadline ties FIFO across both families).
+func (s *Simulator) Schedule(at Time, fn func()) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	t := s.pooledTimer(at)
+	t.fn = fn
+	s.queue.push(t)
+}
+
+// ScheduleArg is Schedule for a callback taking one argument. Passing the
+// argument through the Timer instead of a closure keeps hot schedulers
+// (e.g. the medium's per-transmission completion events) from allocating a
+// closure per event; with a pointer argument the call is allocation-free.
+func (s *Simulator) ScheduleArg(at Time, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	t := s.pooledTimer(at)
+	t.fnArg, t.arg = fn, arg
+	s.queue.push(t)
+}
+
+func (s *Simulator) pooledTimer(at Time) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	var t *Timer
+	if n := len(s.free); n > 0 {
+		t = s.free[n-1]
+		s.free = s.free[:n-1]
+		*t = Timer{sim: s, pooled: true}
+	} else {
+		t = &Timer{sim: s, pooled: true}
+	}
+	t.at = at
+	t.seq = s.seq
+	s.seq++
+	return t
+}
+
+func (s *Simulator) release(t *Timer) {
+	t.fn, t.fnArg, t.arg = nil, nil, nil // drop references, keep the Timer
+	s.free = append(s.free, t)
+}
+
+// NewTimer returns an unarmed timer bound to fn, for callers that re-arm
+// one logical timeout over and over (MAC backoff chains, Trickle beacons):
+// allocate once, then Reschedule each occurrence. The zero-cost
+// alternative to a cancel-and-After pair per occurrence.
+func (s *Simulator) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	return &Timer{sim: s, fn: fn, fired: true} // fired: born unarmed
+}
+
 // Every schedules fn to run every interval, starting at start. The returned
 // Timer cancels the whole series. Each firing reuses the Timer, so holding
 // the pointer is enough to stop the periodic task.
@@ -78,7 +147,7 @@ func (s *Simulator) Step() bool {
 	s.queue.pop()
 	s.now = t.at
 	s.events++
-	fn := t.fn
+	fn, fnArg, arg := t.fn, t.fnArg, t.arg
 	if t.repeat > 0 && !t.cancelled {
 		t.at += t.repeat
 		t.seq = s.seq
@@ -86,8 +155,17 @@ func (s *Simulator) Step() bool {
 		s.queue.push(t)
 	} else {
 		t.fired = true
+		if t.pooled {
+			// Recycle before dispatch so the callback itself can reuse the
+			// slot for whatever it schedules next.
+			s.release(t)
+		}
 	}
-	fn()
+	if fnArg != nil {
+		fnArg(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -133,10 +211,13 @@ type Timer struct {
 	seq       uint64
 	index     int
 	fn        func()
+	fnArg     func(any)
+	arg       any
 	sim       *Simulator
 	repeat    Time
 	fired     bool
 	cancelled bool
+	pooled    bool
 }
 
 // Cancel removes the event from the queue. It reports whether the event was
@@ -160,3 +241,35 @@ func (t *Timer) Active() bool { return !t.cancelled && !t.fired }
 
 // Deadline returns the next firing time.
 func (t *Timer) Deadline() Time { return t.at }
+
+// Reschedule (re-)arms the timer to fire its function at absolute time at,
+// whether it is currently pending, already fired, cancelled, or fresh from
+// NewTimer. A pending timer is moved in place — one heap fix instead of
+// the remove-push pair of the Cancel-plus-After idiom, and no allocation
+// ever. Dispatch ordering matches a freshly scheduled event exactly: the
+// move takes a new tie-break sequence number.
+func (t *Timer) Reschedule(at Time) {
+	s := t.sim
+	if at < s.now {
+		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", at, s.now))
+	}
+	if t.pooled {
+		panic("sim: Reschedule on a pooled (no-handle) timer")
+	}
+	wasPending := t.index >= 0 && !t.cancelled && !t.fired
+	t.at = at
+	t.seq = s.seq
+	s.seq++
+	t.fired, t.cancelled = false, false
+	if wasPending {
+		s.queue.fix(t.index)
+	} else {
+		s.queue.push(t)
+	}
+}
+
+// RescheduleAfter re-arms the timer d from now. d must be non-negative.
+func (t *Timer) RescheduleAfter(d Time) {
+	checkNonNegative(d)
+	t.Reschedule(t.sim.now + d)
+}

@@ -1,13 +1,41 @@
 #!/bin/sh
 # bench.sh — the perf gate: go vet, tier-1 tests, then a -benchtime=1x
 # bench smoke over the whole module, snapshotted to BENCH_<date>.json so
-# future PRs have a perf trajectory to diff against.
+# future PRs have a perf trajectory to diff against. After writing the
+# snapshot it diffs against the most recent previous BENCH_*.json and
+# prints a per-benchmark delta table (ns/op speedup, allocs/op change).
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_$(date +%Y-%m-%d).json}"
+if [ $# -ge 1 ]; then
+	out="$1"
+else
+	# Never clobber an existing snapshot (it is the comparison baseline):
+	# append a run counter when the dated name is taken.
+	out="BENCH_$(date +%Y-%m-%d).json"
+	n=2
+	while [ -e "$out" ]; do
+		out="BENCH_$(date +%Y-%m-%d).$n.json"
+		n=$((n + 1))
+	done
+fi
+
+# The newest snapshot other than $out, ordered by the (date, run counter)
+# encoded in the name — a plain lexical sort would mis-order same-day
+# counter suffixes (".2.json" < ".json"), and mtime is meaningless after
+# a fresh clone. A bare BENCH_<date>.json is run 1 of its day.
+prev="$(ls -1 BENCH_*.json 2>/dev/null | grep -Fxv "$out" | awk '{
+	name = $0
+	stem = name; sub(/^BENCH_/, "", stem); sub(/\.json$/, "", stem)
+	run = 1
+	if (match(stem, /\.[0-9]+$/)) {
+		run = substr(stem, RSTART + 1) + 0
+		stem = substr(stem, 1, RSTART - 1)
+	}
+	print stem, run, name
+}' | sort -k1,1 -k2,2n | tail -n 1 | cut -d' ' -f3 || true)"
 
 echo "== go vet ./..."
 go vet ./...
@@ -36,3 +64,38 @@ go test -run '^$' -bench . -benchtime 1x -benchmem ./... | tee "$tmp"
 } >"$out"
 
 echo "== wrote $out"
+
+# Per-benchmark delta table vs the previous snapshot. Benchmark lines in
+# the snapshots look like:
+#   "BenchmarkFoo  1  12345 ns/op  ...  678 allocs/op",
+# so the value preceding each unit token is the metric.
+if [ -n "$prev" ]; then
+	echo "== delta vs $prev"
+	awk -F'"' -v prev="$prev" '
+		/^[ \t]*"Benchmark/ {
+			n = split($2, f, /[ \t]+/)
+			name = f[1]; ns = ""; al = ""
+			for (i = 2; i < n; i++) {
+				if (f[i + 1] == "ns/op") ns = f[i]
+				if (f[i + 1] == "allocs/op") al = f[i]
+			}
+			if (FILENAME == prev) { pns[name] = ns; pal[name] = al }
+			else { order[++k] = name; nns[name] = ns; nal[name] = al }
+		}
+		END {
+			printf "%-36s %14s %14s %8s %12s %12s %8s\n",
+				"benchmark", "old ns/op", "new ns/op", "speedup",
+				"old allocs", "new allocs", "allocs"
+			for (j = 1; j <= k; j++) {
+				name = order[j]
+				if (!(name in pns)) { printf "%-36s %s\n", name, "(new benchmark)"; continue }
+				spd = (nns[name] > 0) ? pns[name] / nns[name] : 0
+				dal = (pal[name] > 0) ? 100 * (nal[name] - pal[name]) / pal[name] : 0
+				printf "%-36s %14.0f %14.0f %7.2fx %12.0f %12.0f %+7.1f%%\n",
+					name, pns[name], nns[name], spd, pal[name], nal[name], dal
+			}
+			for (name in pns) if (!(name in nns))
+				printf "%-36s %s\n", name, "(removed)"
+		}
+	' "$prev" "$out"
+fi
