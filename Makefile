@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet tier1 bench bench-smoke docs lint clean
+.PHONY: all build test vet tier1 bench bench-smoke docs lint golden golden-check clean
 
 all: build
 
@@ -35,6 +35,20 @@ docs:
 # lint is the static gate CI runs: formatting, vet, package comments.
 lint: vet docs
 	@test -z "$$(gofmt -l .)" || { echo "gofmt needed:"; gofmt -l .; exit 1; }
+
+# golden regenerates the run-fingerprint goldens from the current model.
+# Only for deliberate, documented model changes — the goldens certify that
+# performance kernels and refactors (like the estimator framework
+# extraction) leave simulation trajectories bit-identical, so a regen that
+# accompanies an "exact" rewrite is a red flag in review.
+golden:
+	$(GO) test ./internal/experiment -run TestGoldenRunFingerprints -update-goldens
+
+# golden-check verifies the committed goldens match the current model (the
+# CI guard that a PR did not drift the model without regenerating — or
+# regenerate without saying so; either way the diff makes it visible).
+golden-check:
+	$(GO) test ./internal/experiment -run TestGoldenRunFingerprints -count=1
 
 # bench runs vet + tier-1 + a one-iteration bench smoke and snapshots the
 # results (with metadata) into BENCH_<date>.json for cross-PR perf diffs.

@@ -117,6 +117,20 @@ func BenchmarkFig8DeliveryDistribution(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimatorComparison regenerates the estimator head-to-head:
+// one CTP router with the 4bit, wmewma, pdr and lqi estimators swapped in
+// on the default grid. The reported per-estimator costs make the paper's
+// qualitative ordering (4bit lowest) visible in bench diffs.
+func BenchmarkEstimatorComparison(b *testing.B) {
+	skipInShort(b)
+	for i := 0; i < b.N; i++ {
+		r := experiment.RunEstCompare(1, benchMinutes)
+		for _, res := range r.Runs {
+			reportRun(b, res, string(res.Estimator)+"_")
+		}
+	}
+}
+
 // BenchmarkHeadline regenerates the abstract's comparison on both testbeds.
 func BenchmarkHeadline(b *testing.B) {
 	skipInShort(b)

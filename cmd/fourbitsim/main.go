@@ -17,8 +17,9 @@
 //	fourbitsim fig7      [-seed N] [-minutes M] [-workers W]
 //	fourbitsim fig8      [-seed N] [-minutes M] [-workers W]
 //	fourbitsim headline  [-seed N] [-minutes M] [-workers W]
-//	fourbitsim replicate [-seed N] [-minutes M] [-workers W] [-proto P] [-power dBm] [-seeds K]
-//	fourbitsim scenario  [-preset NAME | -spec FILE | -list] [-seed N] [-workers W]
+//	fourbitsim compare   [-seed N] [-minutes M] [-workers W]
+//	fourbitsim replicate [-seed N] [-minutes M] [-workers W] [-proto P] [-power dBm] [-seeds K] [-estimator E]
+//	fourbitsim scenario  [-preset NAME | -spec FILE | -list] [-seed N] [-workers W] [-estimator E]
 //	fourbitsim sweep     [-spec FILE] [-seed N] [-minutes M] [-replicates K]
 //	                     [-csv FILE] [-jsonl FILE] [-workers W]
 //	fourbitsim all       [-seed N] [-minutes M] [-workers W]
@@ -34,6 +35,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"fourbit/internal/core"
 	"fourbit/internal/experiment"
 	"fourbit/internal/scenario"
 	"fourbit/internal/sim"
@@ -54,6 +56,7 @@ func main() {
 	until := fs.Float64("until", 6, "fig3: degradation end (hours)")
 	workers := fs.Int("workers", experiment.DefaultWorkers(), "parallel runs (<2 = serial)")
 	proto := fs.String("proto", "4B", "replicate: protocol under test (4B, CTP, CTP+unidir, CTP+white, CTP-unlimited, MultiHopLQI)")
+	estimator := fs.String("estimator", "", "replicate/scenario: link-estimator kind for CTP-family protocols (4bit, wmewma, pdr, lqi; empty = the protocol default)")
 	power := fs.Float64("power", 0, "replicate: transmit power (dBm)")
 	nSeeds := fs.Int("seeds", 5, "replicate: number of independent seeds")
 	specFile := fs.String("spec", "", "scenario/sweep: JSON spec file (see docs/SCENARIOS.md)")
@@ -117,6 +120,8 @@ func main() {
 		scenario.RunPowerSweep(*seed, *minutes, *workers).FprintFig8(os.Stdout)
 	case "headline":
 		scenario.RunHeadline(*seed, *minutes, *workers).Fprint(os.Stdout)
+	case "compare":
+		scenario.RunEstCompare(*seed, *minutes, *workers).Fprint(os.Stdout)
 	case "replicate":
 		p, err := experiment.ParseProtocol(*proto)
 		if err != nil {
@@ -125,9 +130,19 @@ func main() {
 		rc := experiment.DefaultRunConfig(p, topo.Mirage(*seed), *seed)
 		rc.TxPowerDBm = *power
 		rc.Duration = dur
+		if *estimator != "" {
+			if p == experiment.ProtoMultiHopLQI {
+				fatal(fmt.Errorf("-estimator does not apply to MultiHopLQI (estimation is inline)"))
+			}
+			kind, err := core.ParseEstimatorKind(*estimator)
+			if err != nil {
+				fatal(err)
+			}
+			rc.Estimator = kind
+		}
 		experiment.ReplicateWorkers(rc, *nSeeds, *workers).Fprint(os.Stdout)
 	case "scenario":
-		runScenario(fs, *specFile, *preset, *list, *seed, *minutes, *replicates, *workers)
+		runScenario(fs, *specFile, *preset, *list, *seed, *minutes, *replicates, *estimator, *workers)
 	case "sweep":
 		runSweep(fs, *specFile, *seed, *minutes, *replicates, *csvOut, *jsonlOut, *workers)
 	case "all":
@@ -159,9 +174,9 @@ func flagSet(fs *flag.FlagSet, name string) bool {
 }
 
 // runScenario executes one scenario from a preset or a JSON spec file.
-// Explicit -seed/-minutes/-replicates flags override what the preset or
-// spec file says.
-func runScenario(fs *flag.FlagSet, specFile, preset string, list bool, seed uint64, minutes float64, replicates int, workers int) {
+// Explicit -seed/-minutes/-replicates/-estimator flags override what the
+// preset or spec file says.
+func runScenario(fs *flag.FlagSet, specFile, preset string, list bool, seed uint64, minutes float64, replicates int, estimator string, workers int) {
 	if list {
 		fmt.Println("built-in scenario presets:")
 		for _, p := range scenario.Presets() {
@@ -197,6 +212,9 @@ func runScenario(fs *flag.FlagSet, specFile, preset string, list bool, seed uint
 	}
 	if flagSet(fs, "replicates") {
 		spec.Replicates = replicates
+	}
+	if flagSet(fs, "estimator") {
+		spec.Estimator = estimator
 	}
 	rep, err := spec.Run(workers)
 	if err != nil {
@@ -285,6 +303,8 @@ subcommands:
   fig7      power sweep 0/-10/-20 dBm: cost & depth, 4B vs MultiHopLQI
   fig8      power sweep: per-node delivery boxplots
   headline  4B vs MultiHopLQI on Mirage and TutorNet
+  compare   head-to-head estimator comparison: one CTP router, the 4bit,
+            wmewma, pdr and lqi estimators swapped in on the default grid
   replicate one protocol across K independent seeds, with mean ± stddev
   scenario  run one declarative scenario (-preset NAME | -spec FILE | -list)
   sweep     expand a parameter grid into replicated runs; default grid is
@@ -300,8 +320,9 @@ common flags:
   -memprofile F write an end-of-run heap profile to F (go tool pprof)
 
 fig3 flags:      -hours H (duration), -from H / -until H (degradation window)
-replicate flags: -proto P (protocol name), -power dBm, -seeds K
-scenario flags:  -preset NAME, -spec FILE (JSON Spec), -list
+replicate flags: -proto P (protocol name), -power dBm, -seeds K,
+                 -estimator E (4bit, wmewma, pdr, lqi; CTP family only)
+scenario flags:  -preset NAME, -spec FILE (JSON Spec), -list, -estimator E
 sweep flags:     -spec FILE (JSON Sweep), -replicates K (seeds per cell),
                  -csv FILE, -jsonl FILE ('-' = stdout)
 

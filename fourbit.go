@@ -41,6 +41,13 @@ type (
 	Addr = packet.Addr
 	// Estimator is the 4B link estimator (§3.3 of the paper).
 	Estimator = core.Estimator
+	// LinkEstimator is the estimator-agnostic router contract; the 4B
+	// estimator and its competitors (EstimatorKind) all implement it.
+	LinkEstimator = core.LinkEstimator
+	// EstimatorKind names a pluggable estimator implementation: "4bit",
+	// "wmewma" (beacon-only windowed ETX), "pdr" (windowed-mean delivery
+	// ratio), "lqi" (pure physical-layer moving average).
+	EstimatorKind = core.EstimatorKind
 	// EstimatorConfig parameterizes the estimator (table size, windows,
 	// EWMA weights, enabled bits).
 	EstimatorConfig = core.Config
@@ -66,6 +73,21 @@ const Broadcast = packet.Broadcast
 // (or installed later with SetComparer).
 func NewEstimator(self Addr, cfg EstimatorConfig, cmp Comparer, seed uint64) *Estimator {
 	return core.New(self, cfg, cmp, sim.NewRand(seed))
+}
+
+// Estimator kinds accepted by NewLinkEstimator (and the simulator's
+// estimator-selection axis).
+const (
+	KindFourBit = core.KindFourBit
+	KindWMEWMA  = core.KindWMEWMA
+	KindPDR     = core.KindPDR
+	KindLQI     = core.KindLQI
+)
+
+// NewLinkEstimator builds an estimator of any registered kind behind the
+// estimator-agnostic contract; the empty kind selects the four-bit hybrid.
+func NewLinkEstimator(kind EstimatorKind, self Addr, cfg EstimatorConfig, cmp Comparer, seed uint64) (LinkEstimator, error) {
+	return core.NewKind(kind, self, cfg, cmp, sim.NewRand(seed))
 }
 
 // DefaultEstimatorConfig returns the paper's parameterization (10-entry

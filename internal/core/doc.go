@@ -21,4 +21,12 @@
 // links managed with Woo et al.'s algorithm (random unpinned eviction gated
 // on white+compare), and a hybrid ETX estimate combining a windowed-EWMA
 // over beacon reception with windowed unicast ack counts.
+//
+// The package is also an estimator framework: LinkEstimator is the
+// router-facing contract, and the four-bit design is one of several
+// registered implementations (EstimatorKinds) — a Woo-style beacon-only
+// WMEWMA, a windowed-mean PDR estimator, and a pure-LQI moving average —
+// so the paper's comparative claims can be tested with the estimator, not
+// the router, as the experimental variable. See linkestimator.go for the
+// contract and policy.go for the mechanics the kinds share.
 package core

@@ -5,61 +5,16 @@ import (
 	"fourbit/internal/sim"
 )
 
-// Config parameterizes the estimator. The defaults are the paper's: a
-// 10-entry table, unicast window ku=5, beacon window kb=2, and EWMA weights
-// of 0.9 for both the beacon-PRR stream and the outer hybrid ETX stream.
-type Config struct {
-	TableSize     int
-	UnicastWindow int     // ku: transmissions per unicast ETX sample
-	BeaconWindow  int     // kb: beacons (received+missed) per PRR sample
-	PRRAlpha      float64 // windowed-EWMA weight on beacon PRR samples
-	ETXAlpha      float64 // outer EWMA weight on hybrid ETX samples
-	MaxETX        float64 // estimate clamp (a dead link)
-	FooterEntries int     // link-info entries advertised per beacon
-	MaxSeqGap     int     // larger beacon seq gaps reinitialize the window
-	// EvictETX is the standard (Woo et al. / TinyOS) replacement policy:
-	// with a full table, a newcomer may displace the unpinned entry with
-	// the worst effective ETX, provided that ETX is at least EvictETX.
-	// Entries that have completed several beacon windows without producing
-	// an estimate (e.g. the neighbor never reciprocates reverse link
-	// information) count as MaxETX — they hold a slot but provide no link.
-	EvictETX float64
-	// LotteryProb approximates the FREQUENCY part of Woo et al.'s table
-	// management: a beacon from an unknown neighbor that finds the table
-	// full (and nothing evictable) still claims a slot with this
-	// probability, displacing a random unpinned entry. Frequently-heard
-	// neighbors (close, reliable) get proportionally many chances, so the
-	// table converges toward the most useful senders instead of freezing
-	// on whichever ten were heard first — without it, clusters of nodes
-	// can lock onto each other and never admit a root-ward link.
-	LotteryProb float64
-	Features    Features
-}
-
-// DefaultConfig returns the paper's parameterization with the full 4B
-// feature set.
-func DefaultConfig() Config {
-	return Config{
-		TableSize:     10,
-		UnicastWindow: 5,
-		BeaconWindow:  2,
-		PRRAlpha:      0.9,
-		ETXAlpha:      0.9,
-		MaxETX:        50,
-		FooterEntries: 8,
-		MaxSeqGap:     32,
-		EvictETX:      6,
-		LotteryProb:   0.03,
-		Features:      FourBit(),
-	}
-}
-
-// Stats counts estimator-internal events.
+// Stats counts estimator-internal events. Every LinkEstimator kind reports
+// through the same counter set (counters a kind cannot produce stay zero:
+// only the four-bit family asks compare-bit questions or completes unicast
+// windows), so estimator-internal behavior is comparable across sweeps.
 type Stats struct {
 	BeaconsIn      uint64 // routing beacons processed
 	Inserted       uint64 // entries inserted into free slots
-	Replaced       uint64 // entries inserted via white+compare eviction
+	Replaced       uint64 // entries inserted via eviction (all policies)
 	RejectedFull   uint64 // beacons from unknown neighbors dropped, table full
+	LotteryWins    uint64 // of Replaced: slots claimed through the FREQUENCY lottery
 	CompareAsked   uint64 // compare bit requests to the network layer
 	CompareTrue    uint64
 	BeaconWindows  uint64 // completed beacon windows (PRR samples)
@@ -67,15 +22,38 @@ type Stats struct {
 	AgedMisses     uint64 // synthetic misses injected for silent neighbors
 }
 
+// add accumulates other into s (for network-wide aggregation).
+func (s *Stats) add(other Stats) {
+	s.BeaconsIn += other.BeaconsIn
+	s.Inserted += other.Inserted
+	s.Replaced += other.Replaced
+	s.RejectedFull += other.RejectedFull
+	s.LotteryWins += other.LotteryWins
+	s.CompareAsked += other.CompareAsked
+	s.CompareTrue += other.CompareTrue
+	s.BeaconWindows += other.BeaconWindows
+	s.UnicastWindows += other.UnicastWindows
+	s.AgedMisses += other.AgedMisses
+}
+
+// SumStats aggregates the counters of a set of estimators (a network).
+func SumStats(ests []LinkEstimator) Stats {
+	var sum Stats
+	for _, e := range ests {
+		sum.add(e.Counters())
+	}
+	return sum
+}
+
 // Estimator is the 4B link estimator (and, via Config.Features, its
 // ablations). It acts as a layer 2.5: routing beacons pass through
 // MakeBeacon / OnBeacon, which add and strip the LE envelope.
 type Estimator struct {
-	cfg   Config
-	self  packet.Addr
-	cmp   Comparer
-	rng   *sim.Rand
-	table *Table
+	tableView
+	cfg  Config
+	self packet.Addr
+	cmp  Comparer
+	rng  *sim.Rand
 
 	beaconSeq uint16
 	footerIdx int
@@ -83,18 +61,21 @@ type Estimator struct {
 	Stats Stats
 }
 
+// Estimator implements LinkEstimator.
+var _ LinkEstimator = (*Estimator)(nil)
+
 // New builds an estimator for node self. cmp supplies the compare bit (nil
 // disables it, as for protocols whose network layer cannot judge routes).
 func New(self packet.Addr, cfg Config, cmp Comparer, rng *sim.Rand) *Estimator {
-	if cfg.TableSize <= 0 || cfg.UnicastWindow <= 0 || cfg.BeaconWindow <= 0 {
-		panic("core: invalid estimator config")
+	if err := cfg.Validate(); err != nil {
+		panic("core: invalid estimator config: " + err.Error())
 	}
 	return &Estimator{
-		cfg:   cfg,
-		self:  self,
-		cmp:   cmp,
-		rng:   rng,
-		table: newTable(cfg.TableSize),
+		tableView: tableView{table: newTable(cfg.TableSize)},
+		cfg:       cfg,
+		self:      self,
+		cmp:       cmp,
+		rng:       rng,
 	}
 }
 
@@ -102,60 +83,21 @@ func New(self packet.Addr, cfg Config, cmp Comparer, rng *sim.Rand) *Estimator {
 // construction (the routing engine is usually built after the estimator).
 func (est *Estimator) SetComparer(cmp Comparer) { est.cmp = cmp }
 
-// Table exposes the link table for inspection (metrics, tests).
-func (est *Estimator) Table() *Table { return est.table }
+// Counters implements LinkEstimator.
+func (est *Estimator) Counters() Stats { return est.Stats }
 
-// Quality returns the current bidirectional ETX estimate for addr. ok is
-// false while no estimate exists (unknown neighbor, or still bootstrapping).
-func (est *Estimator) Quality(addr packet.Addr) (etx float64, ok bool) {
-	e := est.table.Find(addr)
-	if e == nil || !e.etxInit {
-		return 0, false
-	}
-	return e.etx, true
-}
-
-// Pin sets the pin bit on addr (network layer: "this link is in use").
-func (est *Estimator) Pin(addr packet.Addr) bool { return est.table.Pin(addr) }
-
-// Unpin clears the pin bit on addr.
-func (est *Estimator) Unpin(addr packet.Addr) bool { return est.table.Unpin(addr) }
-
-// Neighbors returns the addresses currently in the table.
-func (est *Estimator) Neighbors() []packet.Addr {
-	out := make([]packet.Addr, 0, est.table.Len())
-	for _, e := range est.table.Entries() {
-		out = append(out, e.Addr)
-	}
-	return out
-}
+// OnOverhear implements LinkEstimator as a strict no-op: the 4B design
+// deliberately takes nothing from non-beacon receptions beyond the ack bit
+// (TxResult); overheard-frame metadata is a physical-layer signal the
+// hybrid estimator does not consume.
+func (est *Estimator) OnOverhear(src packet.Addr, meta RxMeta, now sim.Time) {}
 
 // MakeBeacon wraps the network layer's beacon payload in the LE envelope:
 // it assigns the next beacon sequence number and attaches a round-robin
 // subset of the table's inbound qualities as the footer.
 func (est *Estimator) MakeBeacon(netPayload []byte) *packet.LEFrame {
 	est.beaconSeq++
-	le := &packet.LEFrame{Seq: est.beaconSeq, NetPayload: netPayload}
-	entries := est.table.Entries()
-	n := len(entries)
-	max := est.cfg.FooterEntries
-	if max > packet.MaxLinkEntries {
-		max = packet.MaxLinkEntries
-	}
-	for i := 0; i < n && len(le.Entries) < max; i++ {
-		e := entries[(est.footerIdx+i)%n]
-		if !e.prrInit {
-			continue
-		}
-		le.Entries = append(le.Entries, packet.LinkEntry{
-			Addr:      e.Addr,
-			InQuality: uint8(e.prrEwma*255 + 0.5),
-		})
-	}
-	if n > 0 {
-		est.footerIdx = (est.footerIdx + 1) % n
-	}
-	return le
+	return buildBeacon(est.table, est.beaconSeq, &est.footerIdx, est.cfg.FooterEntries, netPayload)
 }
 
 // OnBeacon processes a received routing beacon (already stripped of its MAC
@@ -173,13 +115,8 @@ func (est *Estimator) OnBeacon(src packet.Addr, le *packet.LEFrame, meta RxMeta,
 		e = est.admit(src, le, meta)
 	}
 	if e != nil {
-		est.accountBeacon(e, le.Seq, now)
-		for _, ent := range le.Entries {
-			if ent.Addr == est.self {
-				e.outQuality = float64(ent.InQuality) / 255
-				e.outValid = true
-			}
-		}
+		accountSeq(e, le.Seq, est.cfg.MaxSeqGap, now)
+		scanFooter(e, le, est.self)
 		est.completeBeaconWindow(e)
 	}
 	return le.NetPayload, true
@@ -191,6 +128,10 @@ func (est *Estimator) OnBeacon(src packet.Addr, le *packet.LEFrame, meta RxMeta,
 // unpinned entry (§3.3); independent of that, the standard replacement
 // policy lets a newcomer displace the unpinned entry with the worst
 // effective ETX when that entry is bad enough to be useless.
+//
+// This is admitBasic (policy.go) with the white/compare step spliced
+// between eviction and lottery — the one admission move unique to the 4B
+// design. A policy change made here likely belongs in admitBasic too.
 func (est *Estimator) admit(src packet.Addr, le *packet.LEFrame, meta RxMeta) *Entry {
 	if e := est.table.Insert(src); e != nil {
 		est.Stats.Inserted++
@@ -198,17 +139,17 @@ func (est *Estimator) admit(src packet.Addr, le *packet.LEFrame, meta RxMeta) *E
 	}
 	// Standard policy first: displace a demonstrably useless entry. This
 	// keeps squatters from poisoning the white/compare path below.
-	if est.evictWorst() {
+	if evictWorst(est.table, est.effectiveETX, est.cfg.EvictETX) {
 		est.Stats.Replaced++
-		return est.mustInsert(src)
+		return mustInsert(est.table, src)
 	}
 	if est.cfg.Features.WhiteCompare && meta.White && est.cmp != nil {
 		est.Stats.CompareAsked++
 		if est.cmp.CompareBit(src, le.NetPayload) {
 			est.Stats.CompareTrue++
-			if est.evictForReplacement() {
+			if evictForReplacement(est.table, est.effectiveETX, est.rng) {
 				est.Stats.Replaced++
-				return est.mustInsert(src)
+				return mustInsert(est.table, src)
 			}
 		}
 	}
@@ -217,67 +158,13 @@ func (est *Estimator) admit(src packet.Addr, le *packet.LEFrame, meta RxMeta) *E
 	// is the worst unpinned entry, never a random good one — otherwise
 	// rarely-heard phantom neighbors (one lucky fade per hour) would
 	// erode real links in sparse low-power networks.
-	if est.rng.Bernoulli(est.cfg.LotteryProb) && est.evictForReplacement() {
+	if est.rng.Bernoulli(est.cfg.LotteryProb) && evictForReplacement(est.table, est.effectiveETX, est.rng) {
 		est.Stats.Replaced++
-		return est.mustInsert(src)
+		est.Stats.LotteryWins++
+		return mustInsert(est.table, src)
 	}
 	est.Stats.RejectedFull++
 	return nil
-}
-
-// evictForReplacement frees a slot for a compare-qualified newcomer: the
-// unpinned entry with the worst effective ETX goes (mirroring the TinyOS
-// 4-bit estimator, which replaces its worst mature neighbor on a set
-// compare bit); if every unpinned entry is still warming up, a random one
-// goes instead. Evicting the *best* links here would churn the table
-// faster than estimates mature — the failure mode the maturity rules of
-// Woo et al. exist to prevent.
-func (est *Estimator) evictForReplacement() bool {
-	var victim packet.Addr
-	worst := 0.0
-	for _, e := range est.table.Entries() {
-		if e.Pinned {
-			continue
-		}
-		if etx := est.effectiveETX(e); etx > worst {
-			worst = etx
-			victim = e.Addr
-		}
-	}
-	if worst > 0 {
-		return est.table.Remove(victim)
-	}
-	return est.table.EvictRandomUnpinned(est.rng)
-}
-
-func (est *Estimator) mustInsert(src packet.Addr) *Entry {
-	e := est.table.Insert(src)
-	if e == nil {
-		panic("core: insert failed after eviction")
-	}
-	return e
-}
-
-// evictWorst removes the unpinned entry with the highest effective ETX if
-// that ETX reaches the eviction threshold, reporting whether a slot was
-// freed. Mature entries without an estimate count as MaxETX.
-func (est *Estimator) evictWorst() bool {
-	var victim packet.Addr
-	worst := -1.0
-	for _, e := range est.table.Entries() {
-		if e.Pinned {
-			continue
-		}
-		etx := est.effectiveETX(e)
-		if etx > worst {
-			worst = etx
-			victim = e.Addr
-		}
-	}
-	if worst < est.cfg.EvictETX {
-		return false
-	}
-	return est.table.Remove(victim)
 }
 
 // effectiveETX is the eviction-policy view of an entry: its estimate if it
@@ -287,33 +174,10 @@ func (est *Estimator) effectiveETX(e *Entry) float64 {
 	if e.etxInit {
 		return e.etx
 	}
-	if e.windows >= 3 {
+	if e.windows >= matureWindows {
 		return est.cfg.MaxETX
 	}
 	return 0
-}
-
-func (est *Estimator) accountBeacon(e *Entry, seq uint16, now sim.Time) {
-	e.lastHeard = now
-	if !e.seqInit {
-		e.seqInit = true
-		e.lastSeq = seq
-		e.rcvd = 1
-		return
-	}
-	gap := int(seq - e.lastSeq) // uint16 arithmetic handles wraparound
-	e.lastSeq = seq
-	switch {
-	case gap == 0:
-		// Duplicate delivery; ignore.
-	case gap > est.cfg.MaxSeqGap || gap < 0:
-		// Too long a silence (or a rebooted neighbor): restart the window
-		// rather than recording an implausible miss burst.
-		e.rcvd, e.missed = 1, 0
-	default:
-		e.missed += gap - 1
-		e.rcvd++
-	}
 }
 
 // completeBeaconWindow folds a finished beacon window into the PRR EWMA and
@@ -347,14 +211,7 @@ func (est *Estimator) completeBeaconWindow(e *Entry) {
 		}
 		etxSample = invQuality(e.prrEwma*e.outQuality, est.cfg.MaxETX)
 	}
-	est.feedETX(e, etxSample)
-}
-
-func invQuality(q, maxETX float64) float64 {
-	if q <= 1/maxETX {
-		return maxETX
-	}
-	return 1 / q
+	foldETX(e, etxSample, est.cfg.ETXAlpha, est.cfg.MaxETX)
 }
 
 // TxResult feeds the ack bit for one unicast transmission to dest (§3.1:
@@ -387,23 +244,7 @@ func (est *Estimator) TxResult(dest packet.Addr, acked bool) {
 	}
 	e.uTotal, e.uAcked = 0, 0
 	est.Stats.UnicastWindows++
-	est.feedETX(e, sample)
-}
-
-func (est *Estimator) feedETX(e *Entry, sample float64) {
-	if sample < 1 {
-		sample = 1
-	}
-	if sample > est.cfg.MaxETX {
-		sample = est.cfg.MaxETX
-	}
-	if !e.etxInit {
-		e.etxInit = true
-		e.etx = sample
-		return
-	}
-	a := est.cfg.ETXAlpha
-	e.etx = a*e.etx + (1-a)*sample
+	foldETX(e, sample, est.cfg.ETXAlpha, est.cfg.MaxETX)
 }
 
 // Age injects one synthetic missed beacon into every entry silent for

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// LinkEstimator is the router-facing contract every link estimator
+// implements. The paper's four-bit hybrid (Estimator) is one implementation;
+// WMEWMA (beacon-only windowed ETX), PDREstimator (windowed-mean reception
+// ratio) and LQIEstimator (pure physical-layer moving average) are competing
+// designs that plug into the same router, so estimator choice becomes an
+// experiment axis instead of a protocol fork.
+//
+// The contract has four parts:
+//
+//   - Neighbor table access: every estimator manages a shared *Table whose
+//     entries publish an ETX-comparable cost through Entry.ETX. Quality is
+//     the keyed lookup; Pin/Unpin are the network layer's pin bit.
+//
+//   - Feedback hooks: OnBeacon consumes received routing beacons (and strips
+//     the layer-2.5 envelope), TxResult consumes the link layer's ack bit
+//     for unicast transmissions, OnOverhear consumes physical-layer metadata
+//     from non-beacon frames the node happens to receive, and Age lets the
+//     router inject silence at its own beacon cadence. Implementations are
+//     free to ignore any hook (the four-bit estimator ignores OnOverhear;
+//     the LQI estimator ignores TxResult) — a hook call must then be a
+//     strict no-op, consuming no randomness.
+//
+//   - Cost quantity: Quality reports a bidirectional-ETX-comparable value
+//     (1 = perfect link, larger is worse, clamped at Config.MaxETX), so the
+//     router's additive path cost works unchanged under every estimator.
+//
+//   - Envelope: MakeBeacon wraps the network layer's beacon payload in the
+//     estimator's wire envelope (packet.LEFrame); OnBeacon unwraps it and
+//     returns the network payload for delivery upward. Estimators that need
+//     no footer still speak the envelope so variants interoperate on the
+//     wire.
+//
+// RNG-stream discipline: an estimator draws only from the *sim.Rand it was
+// constructed with (the per-node "est/<addr>" stream), and only inside
+// feedback hooks that the four-bit estimator would also be called on.
+// That keeps every other stream in the simulation untouched by estimator
+// choice, which is what makes estimator sweeps comparable seed-for-seed.
+type LinkEstimator interface {
+	// Neighbor table access.
+	Table() *Table
+	Quality(addr packet.Addr) (etx float64, ok bool)
+	Pin(addr packet.Addr) bool
+	Unpin(addr packet.Addr) bool
+	Neighbors() []packet.Addr
+
+	// Feedback hooks.
+	OnBeacon(src packet.Addr, le *packet.LEFrame, meta RxMeta, now sim.Time) ([]byte, bool)
+	TxResult(dest packet.Addr, acked bool)
+	OnOverhear(src packet.Addr, meta RxMeta, now sim.Time)
+	Age(maxSilence sim.Time, now sim.Time)
+
+	// Envelope and wiring.
+	MakeBeacon(netPayload []byte) *packet.LEFrame
+	SetComparer(cmp Comparer)
+
+	// Counters returns the estimator-internal event counts.
+	Counters() Stats
+}
+
+// EstimatorKind names a pluggable estimator implementation. The zero value
+// selects the four-bit hybrid, so existing configurations are unchanged.
+type EstimatorKind string
+
+// The registered estimator kinds.
+const (
+	// KindFourBit is the paper's hybrid estimator (beacon-driven windowed
+	// EWMA bootstrap + unicast ack-bit windows + white/compare admission),
+	// including its Figure 6 ablations via Config.Features.
+	KindFourBit EstimatorKind = "4bit"
+	// KindWMEWMA is the Woo-style beacon-only estimator: windowed-mean
+	// reception ratio smoothed by an EWMA, made bidirectional through
+	// beacon footers — the paper's "no unicast bit" baseline generalized
+	// to its own window length (Config.MAWindow).
+	KindWMEWMA EstimatorKind = "wmewma"
+	// KindPDR is a windowed-mean packet-delivery-ratio estimator (the
+	// simple-moving-average family of arXiv:2411.12265): the latest
+	// window's reception ratio is the estimate, with no exponential
+	// smoothing — maximally agile, maximally noisy.
+	KindPDR EstimatorKind = "pdr"
+	// KindLQI is a pure physical-layer estimator: an EWMA over the LQI of
+	// received frames, mapped to an ETX-comparable cost by the MultiHopLQI
+	// cubic. It never sees missed packets — the blindness the paper's
+	// Figure 3 documents.
+	KindLQI EstimatorKind = "lqi"
+)
+
+// EstimatorKinds lists the registered kinds in presentation order.
+func EstimatorKinds() []EstimatorKind {
+	return []EstimatorKind{KindFourBit, KindWMEWMA, KindPDR, KindLQI}
+}
+
+// ParseEstimatorKind resolves a kind name; the empty string is the default
+// (four-bit).
+func ParseEstimatorKind(s string) (EstimatorKind, error) {
+	if s == "" {
+		return KindFourBit, nil
+	}
+	for _, k := range EstimatorKinds() {
+		if string(k) == s {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown estimator kind %q (kinds: %v)", s, EstimatorKinds())
+}
+
+// NewKind constructs an estimator of the given kind. The empty kind means
+// KindFourBit, so callers can pass a selector through unset. cmp may be nil;
+// routers that provide the compare bit install it via SetComparer.
+func NewKind(kind EstimatorKind, self packet.Addr, cfg Config, cmp Comparer, rng *sim.Rand) (LinkEstimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "", KindFourBit:
+		return New(self, cfg, cmp, rng), nil
+	case KindWMEWMA:
+		return NewWMEWMA(self, cfg, rng), nil
+	case KindPDR:
+		return NewPDR(self, cfg, rng), nil
+	case KindLQI:
+		return NewLQIEstimator(self, cfg, rng), nil
+	default:
+		_, err := ParseEstimatorKind(string(kind))
+		return nil, err
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// PDREstimator is a windowed-mean packet-delivery-ratio estimator — the
+// simple-moving-average family studied by "On the Accuracy and Precision
+// of Moving Averages to Estimate Wi-Fi Link Quality" (arXiv:2411.12265):
+// the latest MAWindow-beacon reception ratio *is* the estimate, with no
+// exponential smoothing anywhere. Combined with footer-advertised reverse
+// quality it publishes a bidirectional ETX.
+//
+// Against WMEWMA it trades precision for accuracy under change: a link
+// shift is fully reflected after one window, but every estimate carries
+// the full sampling noise of a MAWindow-packet Bernoulli trial — the
+// accuracy/precision tradeoff that paper quantifies. All mechanics except
+// the publish step live in the shared beaconKind (policy.go).
+type PDREstimator struct {
+	beaconKind
+}
+
+var _ LinkEstimator = (*PDREstimator)(nil)
+
+// NewPDR builds a windowed-mean PDR estimator for node self.
+func NewPDR(self packet.Addr, cfg Config, rng *sim.Rand) *PDREstimator {
+	est := &PDREstimator{beaconKind: newBeaconKind(self, cfg, rng)}
+	est.publish = est.publishWindow
+	return est
+}
+
+// publishWindow publishes the finished window's reception ratio directly:
+// the defining move of the SMA family (no EWMA on either level).
+func (est *PDREstimator) publishWindow(e *Entry, sample float64) {
+	e.prrInit = true
+	e.prrEwma = sample // the windowed mean, advertised verbatim in footers
+	if !e.outValid {
+		return
+	}
+	// The new sample replaces the estimate entirely — no smoothing.
+	// invQuality is already within [1, MaxETX] for a ratio in [0, 1].
+	e.etxInit = true
+	e.etx = invQuality(sample*e.outQuality, est.cfg.MaxETX)
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// Shared estimator mechanics. Every LinkEstimator kind manages the same
+// fixed-capacity Table, speaks the same LE beacon envelope, counts beacon
+// sequence numbers the same way, and (except for admission details) evicts
+// by the same Woo-style policy — so those mechanics live here, and each
+// estimator file contains only what makes that estimator different.
+
+// tableView provides the neighbor-table half of the LinkEstimator contract
+// over a shared *Table. Estimators embed it.
+type tableView struct {
+	table *Table
+}
+
+// Table exposes the link table for inspection (routing, metrics, tests).
+func (v *tableView) Table() *Table { return v.table }
+
+// Quality returns the current bidirectional ETX estimate for addr. ok is
+// false while no estimate exists (unknown neighbor, or still bootstrapping).
+func (v *tableView) Quality(addr packet.Addr) (etx float64, ok bool) {
+	e := v.table.Find(addr)
+	if e == nil || !e.etxInit {
+		return 0, false
+	}
+	return e.etx, true
+}
+
+// Pin sets the pin bit on addr (network layer: "this link is in use").
+func (v *tableView) Pin(addr packet.Addr) bool { return v.table.Pin(addr) }
+
+// Unpin clears the pin bit on addr.
+func (v *tableView) Unpin(addr packet.Addr) bool { return v.table.Unpin(addr) }
+
+// Neighbors returns the addresses currently in the table.
+func (v *tableView) Neighbors() []packet.Addr {
+	out := make([]packet.Addr, 0, v.table.Len())
+	for _, e := range v.table.Entries() {
+		out = append(out, e.Addr)
+	}
+	return out
+}
+
+// evictWorst removes the unpinned entry with the highest effective ETX if
+// that ETX reaches the eviction threshold, reporting whether a slot was
+// freed. Mature entries without an estimate count as MaxETX (the eff
+// callback encodes that).
+func evictWorst(t *Table, eff func(*Entry) float64, threshold float64) bool {
+	var victim packet.Addr
+	worst := -1.0
+	for _, e := range t.Entries() {
+		if e.Pinned {
+			continue
+		}
+		etx := eff(e)
+		if etx > worst {
+			worst = etx
+			victim = e.Addr
+		}
+	}
+	if worst < threshold {
+		return false
+	}
+	return t.Remove(victim)
+}
+
+// evictForReplacement frees a slot for a qualified newcomer: the unpinned
+// entry with the worst effective ETX goes (mirroring the TinyOS 4-bit
+// estimator, which replaces its worst mature neighbor on a set compare
+// bit); if every unpinned entry is still warming up, a random one goes
+// instead. Evicting the *best* links here would churn the table faster
+// than estimates mature — the failure mode the maturity rules of Woo et
+// al. exist to prevent.
+func evictForReplacement(t *Table, eff func(*Entry) float64, rng *sim.Rand) bool {
+	var victim packet.Addr
+	worst := 0.0
+	for _, e := range t.Entries() {
+		if e.Pinned {
+			continue
+		}
+		if etx := eff(e); etx > worst {
+			worst = etx
+			victim = e.Addr
+		}
+	}
+	if worst > 0 {
+		return t.Remove(victim)
+	}
+	return t.EvictRandomUnpinned(rng)
+}
+
+// matureWindows is the number of completed estimation windows after which
+// an entry that still has no estimate counts as a squatter (effective ETX
+// = MaxETX) for eviction purposes — the maturity rule of Woo et al.,
+// shared by every kind's effectiveETX.
+const matureWindows = 3
+
+func mustInsert(t *Table, src packet.Addr) *Entry {
+	e := t.Insert(src)
+	if e == nil {
+		panic("core: insert failed after eviction")
+	}
+	return e
+}
+
+// admitBasic is the admission policy of the non-four-bit estimators: free
+// slots are always granted; otherwise the standard replacement policy
+// (displace a useless entry whose effective ETX reaches EvictETX) and the
+// FREQUENCY lottery apply — the four-bit white/compare path in between is
+// the one admission step unique to that design.
+func admitBasic(t *Table, rng *sim.Rand, cfg *Config, stats *Stats, eff func(*Entry) float64, src packet.Addr) *Entry {
+	if e := t.Insert(src); e != nil {
+		stats.Inserted++
+		return e
+	}
+	if evictWorst(t, eff, cfg.EvictETX) {
+		stats.Replaced++
+		return mustInsert(t, src)
+	}
+	if rng.Bernoulli(cfg.LotteryProb) && evictForReplacement(t, eff, rng) {
+		stats.Replaced++
+		stats.LotteryWins++
+		return mustInsert(t, src)
+	}
+	stats.RejectedFull++
+	return nil
+}
+
+// accountSeq folds a received beacon's sequence number into the entry's
+// reception window: gaps count as misses, wraparound is handled by uint16
+// arithmetic, and implausibly long silences restart the window.
+func accountSeq(e *Entry, seq uint16, maxSeqGap int, now sim.Time) {
+	e.lastHeard = now
+	if !e.seqInit {
+		e.seqInit = true
+		e.lastSeq = seq
+		e.rcvd = 1
+		return
+	}
+	gap := int(seq - e.lastSeq) // uint16 arithmetic handles wraparound
+	e.lastSeq = seq
+	switch {
+	case gap == 0:
+		// Duplicate delivery; ignore.
+	case gap > maxSeqGap || gap < 0:
+		// Too long a silence (or a rebooted neighbor): restart the window
+		// rather than recording an implausible miss burst.
+		e.rcvd, e.missed = 1, 0
+	default:
+		e.missed += gap - 1
+		e.rcvd++
+	}
+}
+
+// scanFooter records the reverse (outbound) quality the neighbor advertises
+// for us in its beacon footer.
+func scanFooter(e *Entry, le *packet.LEFrame, self packet.Addr) {
+	for _, ent := range le.Entries {
+		if ent.Addr == self {
+			e.outQuality = float64(ent.InQuality) / 255
+			e.outValid = true
+		}
+	}
+}
+
+// buildBeacon assembles the LE envelope around a network payload: the given
+// sequence number plus a round-robin subset of the table's inbound
+// qualities as the footer.
+func buildBeacon(t *Table, seq uint16, footerIdx *int, footerEntries int, netPayload []byte) *packet.LEFrame {
+	le := &packet.LEFrame{Seq: seq, NetPayload: netPayload}
+	entries := t.Entries()
+	n := len(entries)
+	max := footerEntries
+	if max > packet.MaxLinkEntries {
+		max = packet.MaxLinkEntries
+	}
+	for i := 0; i < n && len(le.Entries) < max; i++ {
+		e := entries[(*footerIdx+i)%n]
+		if !e.prrInit {
+			continue
+		}
+		le.Entries = append(le.Entries, packet.LinkEntry{
+			Addr:      e.Addr,
+			InQuality: uint8(e.prrEwma*255 + 0.5),
+		})
+	}
+	if n > 0 {
+		*footerIdx = (*footerIdx + 1) % n
+	}
+	return le
+}
+
+// beaconKind is the machinery shared by the windowed beacon-driven
+// estimator kinds (wmewma, pdr): sequence-window accounting over MAWindow
+// beacons, footer reverse quality, basic admission, silence aging, and the
+// standard beacon envelope. The concrete kind supplies only publish — how
+// a finished window's reception ratio becomes the published estimate —
+// which is exactly where the moving-average families differ.
+type beaconKind struct {
+	tableView
+	cfg    Config
+	self   packet.Addr
+	rng    *sim.Rand
+	window int
+
+	beaconSeq uint16
+	footerIdx int
+
+	stats   Stats
+	publish func(e *Entry, sample float64)
+}
+
+func newBeaconKind(self packet.Addr, cfg Config, rng *sim.Rand) beaconKind {
+	if err := cfg.Validate(); err != nil {
+		panic("core: invalid estimator config: " + err.Error())
+	}
+	return beaconKind{
+		tableView: tableView{table: newTable(cfg.TableSize)},
+		cfg:       cfg,
+		self:      self,
+		rng:       rng,
+		window:    cfg.maWindow(),
+	}
+}
+
+// SetComparer implements LinkEstimator; the beacon-only kinds never ask
+// the network layer anything, so the comparer is ignored.
+func (k *beaconKind) SetComparer(cmp Comparer) {}
+
+// Counters implements LinkEstimator.
+func (k *beaconKind) Counters() Stats { return k.stats }
+
+// MakeBeacon implements LinkEstimator: the footer advertises inbound
+// reception ratios, which neighbors need for the reverse half of their
+// bidirectional estimates.
+func (k *beaconKind) MakeBeacon(netPayload []byte) *packet.LEFrame {
+	k.beaconSeq++
+	return buildBeacon(k.table, k.beaconSeq, &k.footerIdx, k.cfg.FooterEntries, netPayload)
+}
+
+// OnBeacon implements LinkEstimator: sequence accounting over the MAWindow
+// beacon window, footer processing for reverse quality, basic (no compare
+// bit) admission.
+func (k *beaconKind) OnBeacon(src packet.Addr, le *packet.LEFrame, meta RxMeta, now sim.Time) ([]byte, bool) {
+	if le == nil {
+		return nil, false
+	}
+	k.stats.BeaconsIn++
+	e := k.table.Find(src)
+	if e == nil {
+		e = admitBasic(k.table, k.rng, &k.cfg, &k.stats, k.effectiveETX, src)
+	}
+	if e != nil {
+		accountSeq(e, le.Seq, k.cfg.MaxSeqGap, now)
+		scanFooter(e, le, k.self)
+		k.completeWindow(e)
+	}
+	return le.NetPayload, true
+}
+
+// completeWindow closes a filled window and hands its reception ratio to
+// the kind's publish hook.
+func (k *beaconKind) completeWindow(e *Entry) {
+	if e.rcvd+e.missed < k.window {
+		return
+	}
+	sample := float64(e.rcvd) / float64(e.rcvd+e.missed)
+	e.rcvd, e.missed = 0, 0
+	e.windows++
+	k.stats.BeaconWindows++
+	k.publish(e, sample)
+}
+
+// effectiveETX is the eviction-policy view of an entry (see the four-bit
+// counterpart): warming-up entries are not evictable, mature estimate-less
+// squatters count as MaxETX.
+func (k *beaconKind) effectiveETX(e *Entry) float64 {
+	if e.etxInit {
+		return e.etx
+	}
+	if e.windows >= matureWindows {
+		return k.cfg.MaxETX
+	}
+	return 0
+}
+
+// TxResult implements LinkEstimator as a strict no-op: beacon-only
+// estimation is blind to unicast outcomes — the ablated bit these kinds
+// exist to demonstrate.
+func (k *beaconKind) TxResult(dest packet.Addr, acked bool) {}
+
+// OnOverhear implements LinkEstimator as a strict no-op.
+func (k *beaconKind) OnOverhear(src packet.Addr, meta RxMeta, now sim.Time) {}
+
+// Age injects one synthetic missed beacon per silent entry, as the
+// four-bit estimator does.
+func (k *beaconKind) Age(maxSilence sim.Time, now sim.Time) {
+	for _, e := range k.table.Entries() {
+		if !e.seqInit || now-e.lastHeard <= maxSilence {
+			continue
+		}
+		e.missed++
+		e.lastHeard = now
+		k.stats.AgedMisses++
+		k.completeWindow(e)
+	}
+}
+
+// invQuality converts a delivery ratio into an ETX-comparable cost.
+func invQuality(q, maxETX float64) float64 {
+	if q <= 1/maxETX {
+		return maxETX
+	}
+	return 1 / q
+}
+
+// foldETX pushes one clamped ETX sample into the entry's published
+// estimate through the outer EWMA (alpha 1 reduces to initialization-only;
+// alpha is the weight on the old value).
+func foldETX(e *Entry, sample, alpha, maxETX float64) {
+	if sample < 1 {
+		sample = 1
+	}
+	if sample > maxETX {
+		sample = maxETX
+	}
+	if !e.etxInit {
+		e.etxInit = true
+		e.etx = sample
+		return
+	}
+	e.etx = alpha*e.etx + (1-alpha)*sample
+}

@@ -6,8 +6,13 @@ import (
 )
 
 // Entry is one candidate link in the estimator's table. Fields are managed
-// by the estimator; external layers interact only through the pin bit and
-// the published ETX.
+// by the owning estimator; external layers interact only through the pin
+// bit and the published ETX. The field groups below are the union the
+// estimator kinds need: every kind publishes through etx/etxInit, the
+// beacon-counting kinds (4bit, wmewma, pdr) use the sequence window, and
+// the LQI kind keeps its moving average in prrEwma (on the raw LQI scale
+// instead of a reception ratio — it advertises no footers, so the value
+// never leaves the node).
 type Entry struct {
 	Addr   packet.Addr
 	Pinned bool // the pin bit: network layer forbids eviction
@@ -35,8 +40,9 @@ type Entry struct {
 	etxInit bool
 	etx     float64
 
-	// windows counts completed beacon windows; the eviction policy uses it
-	// to distinguish warming-up entries from estimate-less squatters.
+	// windows counts completed estimation windows (samples, for the LQI
+	// kind); the eviction policy uses it to distinguish warming-up entries
+	// from estimate-less squatters.
 	windows int
 }
 

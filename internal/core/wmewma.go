@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// WMEWMA is the Woo-style beacon-only estimator (the WMEWMA of "Taming the
+// Underlying Challenges of Reliable Multihop Routing in Sensor Networks",
+// generalized from the paper's "CTP without the unicast bit" baseline): the
+// inbound beacon reception ratio over a window of MAWindow beacons is
+// smoothed by an EWMA, combined with the neighbor-advertised reverse
+// quality from beacon footers, and inverted into a bidirectional ETX.
+//
+// It consumes no link-layer or network-layer feedback: TxResult and
+// OnOverhear are strict no-ops, and admission never asks the compare bit —
+// the estimator the paper argues is too sluggish to track data-path
+// failures (its window turns over at beacon cadence, which Trickle decays
+// to minutes). All mechanics except the publish step live in the shared
+// beaconKind (policy.go).
+type WMEWMA struct {
+	beaconKind
+}
+
+var _ LinkEstimator = (*WMEWMA)(nil)
+
+// NewWMEWMA builds a beacon-only windowed-EWMA estimator for node self.
+func NewWMEWMA(self packet.Addr, cfg Config, rng *sim.Rand) *WMEWMA {
+	est := &WMEWMA{beaconKind: newBeaconKind(self, cfg, rng)}
+	est.publish = est.publishWindow
+	return est
+}
+
+// publishWindow folds a finished beacon window into the PRR EWMA and the
+// published ETX — the defining double smoothing of the WMEWMA family.
+func (est *WMEWMA) publishWindow(e *Entry, sample float64) {
+	if !e.prrInit {
+		e.prrInit = true
+		e.prrEwma = sample
+	} else {
+		a := est.cfg.PRRAlpha
+		e.prrEwma = a*e.prrEwma + (1-a)*sample
+	}
+	if !e.outValid {
+		return // reverse quality unknown: no bidirectional estimate yet
+	}
+	foldETX(e, invQuality(e.prrEwma*e.outQuality, est.cfg.MaxETX), est.cfg.ETXAlpha, est.cfg.MaxETX)
+}

@@ -221,7 +221,7 @@ func TestLoopDetectionTriggersBeacon(t *testing.T) {
 	d := &packet.CTPData{Origin: 9, OriginSeq: 1, ETX: 0, THL: 1}
 	payload, _ := d.Encode()
 	f := &packet.Frame{Type: packet.TypeData, AckRequest: true, Src: 0, Dst: 1, Seq: 1, Payload: payload}
-	r.clock.After(0, func() { r.nodes[1].onDataFrame(f) })
+	r.clock.After(0, func() { r.nodes[1].onDataFrame(f, phy.RxInfo{}) })
 	r.clock.RunUntil(11 * sim.Second)
 	if r.nodes[1].Stats.LoopsDetected == 0 {
 		t.Fatal("inconsistency not detected")
@@ -239,7 +239,7 @@ func TestTHLCapDropsAncientPackets(t *testing.T) {
 	d := &packet.CTPData{Origin: 9, OriginSeq: 1, ETX: 60000, THL: cfg.MaxTHL}
 	payload, _ := d.Encode()
 	f := &packet.Frame{Type: packet.TypeData, AckRequest: true, Src: 2, Dst: 1, Seq: 1, Payload: payload}
-	r.clock.After(0, func() { r.nodes[1].onDataFrame(f) })
+	r.clock.After(0, func() { r.nodes[1].onDataFrame(f, phy.RxInfo{}) })
 	r.clock.RunUntil(11 * sim.Second)
 	if r.nodes[1].Stats.DropsTHL != 1 {
 		t.Fatalf("DropsTHL = %d, want 1", r.nodes[1].Stats.DropsTHL)
@@ -257,8 +257,8 @@ func TestDuplicateSuppressionEndToEnd(t *testing.T) {
 	payload, _ := d.Encode()
 	f := &packet.Frame{Type: packet.TypeData, AckRequest: true, Src: 1, Dst: 0, Seq: 1, Payload: payload}
 	r.clock.After(0, func() {
-		r.nodes[0].onDataFrame(f)
-		r.nodes[0].onDataFrame(f)
+		r.nodes[0].onDataFrame(f, phy.RxInfo{})
+		r.nodes[0].onDataFrame(f, phy.RxInfo{})
 	})
 	r.clock.RunUntil(11 * sim.Second)
 	if delivered != 1 {

@@ -102,7 +102,7 @@ const invalidETX = 0xFFFF
 type Node struct {
 	clock  *sim.Simulator
 	m      *mac.MAC
-	est    *core.Estimator
+	est    core.LinkEstimator
 	cfg    Config
 	self   packet.Addr
 	isRoot bool
@@ -130,10 +130,12 @@ type Node struct {
 	Stats Stats
 }
 
-// New wires a CTP node onto its MAC and link estimator. The node registers
-// itself as the MAC's receiver and as the estimator's compare-bit provider.
-// Call Start to boot it.
-func New(clock *sim.Simulator, m *mac.MAC, est *core.Estimator, isRoot bool, cfg Config, rng *sim.Rand) *Node {
+// New wires a CTP node onto its MAC and link estimator — any
+// core.LinkEstimator; the router is estimator-agnostic. The node registers
+// itself as the MAC's receiver and as the estimator's compare-bit provider
+// (estimators without a compare bit ignore the registration). Call Start
+// to boot it.
+func New(clock *sim.Simulator, m *mac.MAC, est core.LinkEstimator, isRoot bool, cfg Config, rng *sim.Rand) *Node {
 	n := &Node{
 		clock:  clock,
 		m:      m,
@@ -173,7 +175,7 @@ func (n *Node) Cost() (float64, bool) {
 func (n *Node) QueueLen() int { return len(n.queue) }
 
 // Estimator returns the node's link estimator (for metrics and tests).
-func (n *Node) Estimator() *core.Estimator { return n.est }
+func (n *Node) Estimator() core.LinkEstimator { return n.est }
 
 // OnDeliver installs the root's delivery callback.
 func (n *Node) OnDeliver(fn Deliver) { n.deliver = fn }
@@ -225,6 +227,6 @@ func (n *Node) onFrame(f *packet.Frame, info phy.RxInfo) {
 	case packet.TypeBeacon:
 		n.onBeaconFrame(f, info)
 	case packet.TypeData:
-		n.onDataFrame(f)
+		n.onDataFrame(f, info)
 	}
 }

@@ -1,15 +1,22 @@
 package ctp
 
 import (
+	"fourbit/internal/core"
 	"fourbit/internal/mac"
 	"fourbit/internal/packet"
+	"fourbit/internal/phy"
 	"fourbit/internal/sim"
 )
 
 // onDataFrame handles a unicast data frame addressed to us: duplicate
 // suppression, loop detection against the sender's advertised cost, and
-// either root delivery or re-enqueue for the next hop.
-func (n *Node) onDataFrame(f *packet.Frame) {
+// either root delivery or re-enqueue for the next hop. The frame's
+// physical-layer metadata feeds the estimator's overheard-frame hook
+// before any protocol processing — reception quality is a property of the
+// link, not of the payload (the four-bit estimator ignores the hook; the
+// LQI estimator samples it).
+func (n *Node) onDataFrame(f *packet.Frame, info phy.RxInfo) {
+	n.est.OnOverhear(f.Src, core.RxMeta{White: info.White, LQI: info.LQI, SNRdB: info.SNRdB}, n.clock.Now())
 	d, err := packet.DecodeCTPData(f.Payload)
 	if err != nil {
 		return

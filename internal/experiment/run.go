@@ -91,7 +91,14 @@ func estConfig(p Protocol) core.Config {
 // had. Scenario specs use them to sweep table size, beacon rate and
 // channel parameters without forking the harness.
 type RunConfig struct {
-	Protocol    Protocol
+	Protocol Protocol
+	// Estimator selects the link-estimator implementation for CTP-family
+	// protocols (core.EstimatorKinds lists them). Empty keeps the
+	// protocol's default — the four-bit family with the protocol's feature
+	// set — byte-for-byte, including its rng streams. MultiHopLQI carries
+	// its estimation inline and ignores the selector (scenario validation
+	// rejects the combination before a run is built).
+	Estimator   core.EstimatorKind
 	Topo        *topo.Topology
 	Seed        uint64
 	TxPowerDBm  float64
@@ -134,6 +141,7 @@ const time1Min = 1 * sim.Minute
 // Result is the measured outcome of one run.
 type Result struct {
 	Protocol   Protocol
+	Estimator  core.EstimatorKind // empty for MultiHopLQI and the default four-bit path
 	TxPowerDBm float64
 	Duration   sim.Time
 
@@ -160,10 +168,18 @@ type Result struct {
 	MeanHops     float64
 	Events       uint64
 
-	// Estimator-table dynamics summed across nodes (CTP family only).
-	EstInserted uint64
-	EstReplaced uint64
-	EstRejected uint64
+	// Estimator-internal counters summed across nodes (CTP family only):
+	// table dynamics plus the per-stream window/lottery activity, so
+	// estimator behavior is comparable across sweeps, not just end-to-end
+	// delivery.
+	EstInserted    uint64
+	EstReplaced    uint64
+	EstRejected    uint64
+	EstBeaconsIn   uint64
+	EstLotteryWins uint64
+	EstBeaconWin   uint64 // completed beacon/estimation windows
+	EstUnicastWin  uint64 // completed unicast (ack-bit) windows
+	EstAgedMisses  uint64
 }
 
 // EnvConfigFor derives the channel parameterization for a testbed. The
@@ -198,7 +214,7 @@ func Run(rc RunConfig) *Result {
 
 	var parents func() []int
 	var dataTx, beaconTx func() uint64
-	var estStats func() (ins, rep, rej uint64)
+	var estStats func() core.Stats
 	var ledger *collect.Ledger
 
 	if rc.Protocol == ProtoMultiHopLQI {
@@ -218,17 +234,10 @@ func Run(rc RunConfig) *Result {
 		if rc.Est != nil {
 			estCfg = *rc.Est
 		}
-		net := node.BuildCTP(env, ctpCfg, estCfg, rc.Workload)
+		net := node.BuildCTPKind(env, ctpCfg, estCfg, rc.Estimator, rc.Workload)
 		parents, ledger = net.Parents, net.Ledger
 		dataTx, beaconTx = net.DataTransmissions, net.BeaconTransmissions
-		estStats = func() (ins, rep, rej uint64) {
-			for _, e := range net.Ests {
-				ins += e.Stats.Inserted
-				rep += e.Stats.Replaced
-				rej += e.Stats.RejectedFull
-			}
-			return
-		}
+		estStats = func() core.Stats { return core.SumStats(net.Ests) }
 	}
 
 	var depthSum float64
@@ -245,8 +254,16 @@ func Run(rc RunConfig) *Result {
 
 	env.Clock.RunUntil(rc.Duration)
 
+	estKind := rc.Estimator
+	if rc.Protocol == ProtoMultiHopLQI {
+		// MultiHopLQI carries its estimation inline; a selector set on a
+		// directly-built RunConfig was not used and must not label the
+		// result (scenario validation rejects the combination upstream).
+		estKind = ""
+	}
 	res := &Result{
 		Protocol:   rc.Protocol,
+		Estimator:  estKind,
 		TxPowerDBm: rc.TxPowerDBm,
 		Duration:   rc.Duration,
 		Generated:  ledger.Generated(),
@@ -276,7 +293,11 @@ func Run(rc RunConfig) *Result {
 	}
 	_, _, res.Detached = metrics.MeanDepth(res.FinalDepths, rc.Topo.Root)
 	if estStats != nil {
-		res.EstInserted, res.EstReplaced, res.EstRejected = estStats()
+		s := estStats()
+		res.EstInserted, res.EstReplaced, res.EstRejected = s.Inserted, s.Replaced, s.RejectedFull
+		res.EstBeaconsIn, res.EstLotteryWins = s.BeaconsIn, s.LotteryWins
+		res.EstBeaconWin, res.EstUnicastWin = s.BeaconWindows, s.UnicastWindows
+		res.EstAgedMisses = s.AgedMisses
 	}
 	return res
 }

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"fourbit/internal/core"
 	"fourbit/internal/sim"
 )
 
@@ -93,7 +94,11 @@ func newStat(vs []float64) Stat {
 // metrics. This is how figure numbers gain confidence intervals — the
 // paper's single-testbed-run values correspond to one seed.
 type Replicated struct {
-	Protocol   Protocol
+	Protocol Protocol
+	// Estimator is the link-estimator kind the runs used (empty for the
+	// default four-bit path and for MultiHopLQI), taken from the runs
+	// themselves so replicated output is attributable to its estimator.
+	Estimator  core.EstimatorKind
 	TxPowerDBm float64
 	Seeds      []uint64
 	Runs       []*Result
@@ -104,6 +109,15 @@ type Replicated struct {
 	MeanHops  Stat
 	DataTx    Stat
 	BeaconTx  Stat
+
+	// Estimator-internal counters (zero for MultiHopLQI, which has no link
+	// table): table dynamics and window/lottery activity, aggregated like
+	// the headline metrics so sweeps can compare estimator behavior.
+	EstBeacons  Stat
+	EstInserted Stat
+	EstReplaced Stat
+	EstRejected Stat
+	EstLottery  Stat
 }
 
 // ReplicaSeeds derives n independent run seeds from master through the
@@ -145,6 +159,9 @@ func Aggregate(p Protocol, txPowerDBm float64, seeds []uint64, runs []*Result) *
 		Seeds:      seeds,
 		Runs:       runs,
 	}
+	if len(runs) > 0 {
+		rep.Estimator = runs[0].Estimator
+	}
 	collect := func(f func(*Result) float64) Stat {
 		vs := make([]float64, len(runs))
 		for i, r := range runs {
@@ -158,12 +175,22 @@ func Aggregate(p Protocol, txPowerDBm float64, seeds []uint64, runs []*Result) *
 	rep.MeanHops = collect(func(r *Result) float64 { return r.MeanHops })
 	rep.DataTx = collect(func(r *Result) float64 { return float64(r.DataTx) })
 	rep.BeaconTx = collect(func(r *Result) float64 { return float64(r.BeaconTx) })
+	rep.EstBeacons = collect(func(r *Result) float64 { return float64(r.EstBeaconsIn) })
+	rep.EstInserted = collect(func(r *Result) float64 { return float64(r.EstInserted) })
+	rep.EstReplaced = collect(func(r *Result) float64 { return float64(r.EstReplaced) })
+	rep.EstRejected = collect(func(r *Result) float64 { return float64(r.EstRejected) })
+	rep.EstLottery = collect(func(r *Result) float64 { return float64(r.EstLotteryWins) })
 	return rep
 }
 
-// Fprint renders the replication summary.
+// Fprint renders the replication summary. A non-default estimator kind is
+// named in the header (the default path prints exactly as it always has).
 func (r *Replicated) Fprint(w io.Writer) {
-	fmt.Fprintf(w, "%s at %.0f dBm over %d seeds:\n", r.Protocol, r.TxPowerDBm, len(r.Runs))
+	label := r.Protocol.String()
+	if r.Estimator != "" {
+		label += " (estimator " + string(r.Estimator) + ")"
+	}
+	fmt.Fprintf(w, "%s at %.0f dBm over %d seeds:\n", label, r.TxPowerDBm, len(r.Runs))
 	fmt.Fprintf(w, "  cost      %s\n", r.Cost)
 	fmt.Fprintf(w, "  delivery  %.3f ±%.3f\n", r.Delivery.Mean, r.Delivery.Stddev)
 	fmt.Fprintf(w, "  depth     %s\n", r.MeanDepth)

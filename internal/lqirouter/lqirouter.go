@@ -13,6 +13,7 @@
 package lqirouter
 
 import (
+	"fourbit/internal/core"
 	"fourbit/internal/mac"
 	"fourbit/internal/packet"
 	"fourbit/internal/phy"
@@ -48,20 +49,11 @@ func DefaultConfig() Config {
 // AdjustLQI converts a received beacon's LQI into the link-cost increment,
 // exactly as the TinyOS implementation does: a cubic penalty in
 // (80 - (lqi - 50)) that makes low-LQI hops rapidly unattractive.
-func AdjustLQI(lqi uint8) uint16 {
-	v := 80 - (int(lqi) - 50)
-	if v < 1 {
-		v = 1
-	}
-	cost := ((v * v) >> 3) * v >> 3
-	if cost > 0xFFFE {
-		cost = 0xFFFE
-	}
-	if cost < 1 {
-		cost = 1
-	}
-	return uint16(cost)
-}
+//
+// The cubic itself lives in internal/core (estimation logic shared with
+// the pluggable pure-LQI estimator, core.LQIEstimator); this router keeps
+// only the routing machinery around it.
+func AdjustLQI(lqi uint8) uint16 { return core.AdjustLQI(lqi) }
 
 // noRoute is the advertised cost of a node without a route.
 const noRoute = 0xFFFF

@@ -68,22 +68,35 @@ type CTPNetwork struct {
 	Env     *Env
 	Nodes   []*ctp.Node
 	MACs    []*mac.MAC
-	Ests    []*core.Estimator
+	Ests    []core.LinkEstimator
 	Sources []*collect.Source
 	Ledger  *collect.Ledger
 }
 
-// BuildCTP assembles one CTP node per topology position (the topology root
-// becomes the collection root), boots them staggered over the workload's
-// boot window, and starts the traffic sources.
+// BuildCTP assembles a CTP network over the default (four-bit family) link
+// estimator; see BuildCTPKind for the estimator-pluggable form.
 func BuildCTP(env *Env, ctpCfg ctp.Config, estCfg core.Config, wl collect.Workload) *CTPNetwork {
+	return BuildCTPKind(env, ctpCfg, estCfg, core.KindFourBit, wl)
+}
+
+// BuildCTPKind assembles one CTP node per topology position (the topology
+// root becomes the collection root) over a link estimator of the given
+// kind, boots them staggered over the workload's boot window, and starts
+// the traffic sources. Every estimator draws from the same per-node
+// "est/<i>" seed stream regardless of kind, so switching kinds perturbs no
+// other randomness in the run. An unknown kind panics — callers validate
+// selectors at the configuration boundary (core.ParseEstimatorKind).
+func BuildCTPKind(env *Env, ctpCfg ctp.Config, estCfg core.Config, kind core.EstimatorKind, wl collect.Workload) *CTPNetwork {
 	n := env.Topo.N()
 	net := &CTPNetwork{Env: env, Ledger: collect.NewLedger()}
 	for i := 0; i < n; i++ {
 		addr := packet.Addr(i)
 		m := mac.New(env.Clock, env.Medium.Radio(i), addr, env.Cfg.MAC,
 			env.Seeds.Stream(fmt.Sprintf("mac/%d", i)))
-		est := core.New(addr, estCfg, nil, env.Seeds.Stream(fmt.Sprintf("est/%d", i)))
+		est, err := core.NewKind(kind, addr, estCfg, nil, env.Seeds.Stream(fmt.Sprintf("est/%d", i)))
+		if err != nil {
+			panic("node: " + err.Error())
+		}
 		cn := ctp.New(env.Clock, m, est, i == env.Topo.Root, ctpCfg,
 			env.Seeds.Stream(fmt.Sprintf("ctp/%d", i)))
 		net.Nodes = append(net.Nodes, cn)

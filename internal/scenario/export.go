@@ -23,6 +23,11 @@ var csvAggregates = []string{
 	"proto", "topo", "topo_nodes", "txpower_dbm", "replicates",
 	"cost_mean", "cost_std", "delivery_mean", "delivery_std",
 	"depth_mean", "depth_std", "hops_mean", "datatx_mean", "beacontx_mean",
+	// Estimator-internal counters (CTP family; zero for MultiHopLQI):
+	// beacons processed, table insertions/evictions/rejections, lottery
+	// wins — the table dynamics behind the headline metrics.
+	"est_beacons_mean", "est_inserted_mean", "est_replaced_mean",
+	"est_rejected_mean", "est_lottery_mean",
 }
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
@@ -60,6 +65,9 @@ func (r *SweepResult) WriteCSV(w io.Writer) error {
 			fmtF(rep.MeanDepth.Mean), fmtF(rep.MeanDepth.Stddev),
 			fmtF(rep.MeanHops.Mean),
 			fmtF(rep.DataTx.Mean), fmtF(rep.BeaconTx.Mean),
+			fmtF(rep.EstBeacons.Mean), fmtF(rep.EstInserted.Mean),
+			fmtF(rep.EstReplaced.Mean), fmtF(rep.EstRejected.Mean),
+			fmtF(rep.EstLottery.Mean),
 		)
 		if err := cw.Write(row); err != nil {
 			return err
@@ -94,7 +102,18 @@ type jsonCell struct {
 	Hops       jsonStat          `json:"hops"`
 	DataTx     jsonStat          `json:"datatx"`
 	BeaconTx   jsonStat          `json:"beacontx"`
+	Est        jsonEstStats      `json:"est"`
 	Runs       []jsonRun         `json:"runs"`
+}
+
+// jsonEstStats carries the estimator-internal counter aggregates (means
+// across the cell's replicates; all zero for MultiHopLQI cells).
+type jsonEstStats struct {
+	Beacons  float64 `json:"beacons"`
+	Inserted float64 `json:"inserted"`
+	Replaced float64 `json:"replaced"`
+	Rejected float64 `json:"rejected"`
+	Lottery  float64 `json:"lottery"`
 }
 
 type jsonStat struct {
@@ -103,12 +122,17 @@ type jsonStat struct {
 }
 
 type jsonRun struct {
-	Seed     uint64  `json:"seed"`
-	Cost     float64 `json:"cost"`
-	Delivery float64 `json:"delivery"`
-	Depth    float64 `json:"depth"`
-	DataTx   uint64  `json:"datatx"`
-	BeaconTx uint64  `json:"beacontx"`
+	Seed        uint64  `json:"seed"`
+	Cost        float64 `json:"cost"`
+	Delivery    float64 `json:"delivery"`
+	Depth       float64 `json:"depth"`
+	DataTx      uint64  `json:"datatx"`
+	BeaconTx    uint64  `json:"beacontx"`
+	EstBeacons  uint64  `json:"est_beacons"`
+	EstInserted uint64  `json:"est_inserted"`
+	EstReplaced uint64  `json:"est_replaced"`
+	EstRejected uint64  `json:"est_rejected"`
+	EstLottery  uint64  `json:"est_lottery"`
 }
 
 // WriteJSONL emits one JSON object per cell, one per line.
@@ -136,15 +160,27 @@ func (r *SweepResult) WriteJSONL(w io.Writer) error {
 			Hops:       jsonStat{rep.MeanHops.Mean, rep.MeanHops.Stddev},
 			DataTx:     jsonStat{rep.DataTx.Mean, rep.DataTx.Stddev},
 			BeaconTx:   jsonStat{rep.BeaconTx.Mean, rep.BeaconTx.Stddev},
+			Est: jsonEstStats{
+				Beacons:  rep.EstBeacons.Mean,
+				Inserted: rep.EstInserted.Mean,
+				Replaced: rep.EstReplaced.Mean,
+				Rejected: rep.EstRejected.Mean,
+				Lottery:  rep.EstLottery.Mean,
+			},
 		}
 		for j, run := range rep.Runs {
 			row.Runs = append(row.Runs, jsonRun{
-				Seed:     rep.Seeds[j],
-				Cost:     run.Cost,
-				Delivery: run.DeliveryRatio,
-				Depth:    run.MeanDepth,
-				DataTx:   run.DataTx,
-				BeaconTx: run.BeaconTx,
+				Seed:        rep.Seeds[j],
+				Cost:        run.Cost,
+				Delivery:    run.DeliveryRatio,
+				Depth:       run.MeanDepth,
+				DataTx:      run.DataTx,
+				BeaconTx:    run.BeaconTx,
+				EstBeacons:  run.EstBeaconsIn,
+				EstInserted: run.EstInserted,
+				EstReplaced: run.EstReplaced,
+				EstRejected: run.EstRejected,
+				EstLottery:  run.EstLotteryWins,
 			})
 		}
 		if err := enc.Encode(row); err != nil {

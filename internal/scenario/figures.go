@@ -67,6 +67,32 @@ func HeadlineSpecs(seed uint64, minutes float64) []Spec {
 	return specs
 }
 
+// EstCompareSpecs is the estimator comparison as scenarios: CTP on the
+// default grid topology with each registered estimator kind swapped in
+// (experiment.EstCompareBatch, declaratively).
+func EstCompareSpecs(seed uint64, minutes float64) []Spec {
+	var specs []Spec
+	for _, k := range experiment.EstCompareKinds {
+		s := Spec{
+			Protocol:    "4B",
+			Estimator:   string(k),
+			Topology:    TopoSpec{Kind: "grid", Rows: 8, Cols: 8},
+			Seed:        seed,
+			TxPowerDBm:  experiment.EstComparePower(),
+			DurationMin: minutes,
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// RunEstCompare executes the estimator comparison through its scenario
+// preset.
+func RunEstCompare(seed uint64, minutes float64, workers int) *experiment.EstCompareResult {
+	rcs := mustRuns(EstCompareSpecs(seed, minutes))
+	return &experiment.EstCompareResult{Topo: rcs[0].Topo, Runs: experiment.RunAllWorkers(rcs, workers)}
+}
+
 // BuildRuns compiles a spec batch into experiment runs.
 func BuildRuns(specs []Spec) ([]experiment.RunConfig, error) {
 	rcs := make([]experiment.RunConfig, len(specs))

@@ -24,6 +24,7 @@ func TestFigureSpecsMatchExperimentBatches(t *testing.T) {
 		{"fig6", Fig6Specs(seed, minutes), experiment.Fig6Batch(seed, dur)},
 		{"powersweep", PowerSweepSpecs(seed, minutes), experiment.PowerSweepBatch(seed, dur)},
 		{"headline", HeadlineSpecs(seed, minutes), experiment.HeadlineBatch(seed, dur)},
+		{"estcompare", EstCompareSpecs(seed, minutes), experiment.EstCompareBatch(seed, dur)},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -30,6 +30,10 @@ func Presets() []NamedSpec {
 				TableSize: 4,
 			},
 		},
+		estKindPreset("grid-beacon-etx", "wmewma",
+			"CTP on the comparison grid with the beacon-only WMEWMA estimator (fourbitsim compare runs all kinds)"),
+		estKindPreset("grid-pure-lqi", "lqi",
+			"CTP on the comparison grid with the pure-LQI moving-average estimator (the Figure 3 blindspot, table-driven)"),
 		{
 			Name: "corridor-marginal",
 			Desc: "a 150 m corridor at -15 dBm: long chains of grey-region links",
@@ -82,6 +86,19 @@ func Presets() []NamedSpec {
 			},
 		},
 	}
+}
+
+// estKindPreset derives a single-estimator preset from the comparison
+// figure's own specs, so preset conditions (grid, power, seed) track
+// experiment/estcompare.go instead of restating them.
+func estKindPreset(name, kind, desc string) NamedSpec {
+	for _, s := range EstCompareSpecs(1, 0) {
+		if s.Estimator == kind {
+			s.Name = name
+			return NamedSpec{Name: name, Desc: desc, Spec: s}
+		}
+	}
+	panic("scenario: estimator kind not in the comparison figure: " + kind)
 }
 
 // Preset looks a preset up by name.

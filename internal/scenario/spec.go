@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"fourbit/internal/collect"
+	"fourbit/internal/core"
 	"fourbit/internal/ctp"
 	"fourbit/internal/experiment"
 	"fourbit/internal/lqirouter"
@@ -27,8 +28,14 @@ type Spec struct {
 	// "CTP", "CTP+unidir", "CTP+white", "CTP-unlimited", "MultiHopLQI".
 	// Empty means "4B".
 	Protocol string `json:",omitempty"`
-	Topology TopoSpec
-	Seed     uint64 `json:",omitempty"`
+	// Estimator selects the link-estimator implementation for CTP-family
+	// protocols: "4bit", "wmewma", "pdr", "lqi" (core.EstimatorKinds).
+	// Empty keeps the protocol's default four-bit family estimator —
+	// byte-identical to pre-framework behavior. Invalid on MultiHopLQI,
+	// which carries its estimation inline.
+	Estimator string `json:",omitempty"`
+	Topology  TopoSpec
+	Seed      uint64 `json:",omitempty"`
 	// TxPowerDBm is the shared transmit power (0 dBm default, like the
 	// testbeds; the paper's Figure 7 sweeps it down to -20).
 	TxPowerDBm  float64 `json:",omitempty"`
@@ -177,6 +184,14 @@ func (s *Spec) Validate() error {
 	if p, _ := s.protocol(); p == experiment.ProtoMultiHopLQI && (s.TableSize > 0 || s.FooterEntries > 0) {
 		return fmt.Errorf("scenario %q: TableSize/FooterEntries do not apply to MultiHopLQI (no link table)", s.Name)
 	}
+	if s.Estimator != "" {
+		if _, err := core.ParseEstimatorKind(s.Estimator); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if p, _ := s.protocol(); p == experiment.ProtoMultiHopLQI {
+			return fmt.Errorf("scenario %q: Estimator does not apply to MultiHopLQI (estimation is inline)", s.Name)
+		}
+	}
 	if s.Traffic != nil {
 		t := s.Traffic
 		if t.PeriodS < 0 || t.PayloadBytes < 0 || t.BootWindowS < 0 ||
@@ -217,6 +232,13 @@ func (s *Spec) RunConfig() (experiment.RunConfig, error) {
 		s.Channel.apply(&env.Phy)
 		rc.Env = &env
 	}
+	if s.Estimator != "" {
+		kind, err := core.ParseEstimatorKind(s.Estimator)
+		if err != nil {
+			return experiment.RunConfig{}, err
+		}
+		rc.Estimator = kind
+	}
 	if (s.TableSize > 0 || s.FooterEntries > 0) && p != experiment.ProtoMultiHopLQI {
 		est, err := experiment.EstimatorConfig(p)
 		if err != nil {
@@ -227,6 +249,12 @@ func (s *Spec) RunConfig() (experiment.RunConfig, error) {
 		}
 		if s.FooterEntries > 0 {
 			est.FooterEntries = s.FooterEntries
+		}
+		// The knobs passed structural validation above; the estimator
+		// constructors re-validate, but catching a contradictory combination
+		// here names the scenario instead of panicking mid-run.
+		if err := est.Validate(); err != nil {
+			return experiment.RunConfig{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 		rc.Est = &est
 	}

@@ -23,6 +23,7 @@ type Axis struct {
 // field each one drives.
 //
 //	protocol       Spec.Protocol            (Strings)
+//	estimator      Spec.Estimator           (Strings; dropped on MultiHopLQI cells)
 //	topology       Spec.Topology.Kind       (Strings)
 //	txpower        Spec.TxPowerDBm          dBm
 //	nodes          Spec.Topology.N
@@ -36,9 +37,9 @@ type Axis struct {
 //	duration-min   Spec.DurationMin
 //	seed           Spec.Seed
 func SweepParams() []string {
-	return []string{"protocol", "topology", "txpower", "nodes", "clusters", "spacing-m",
-		"clutter-db", "tablesize", "beaconmax-s", "period-s", "noise-burst-db",
-		"duration-min", "seed"}
+	return []string{"protocol", "estimator", "topology", "txpower", "nodes", "clusters",
+		"spacing-m", "clutter-db", "tablesize", "beaconmax-s", "period-s",
+		"noise-burst-db", "duration-min", "seed"}
 }
 
 func (a *Axis) len() int {
@@ -49,19 +50,8 @@ func (a *Axis) len() int {
 }
 
 func (a *Axis) validate() error {
-	switch {
-	case len(a.Values) > 0 && len(a.Strings) > 0:
-		return fmt.Errorf("axis %q sets both Values and Strings", a.Param)
-	case len(a.Values) == 0 && len(a.Strings) == 0:
-		return fmt.Errorf("axis %q has no values", a.Param)
-	}
-	stringly := a.Param == "protocol" || a.Param == "topology"
-	if stringly && len(a.Strings) == 0 {
-		return fmt.Errorf("axis %q needs Strings values", a.Param)
-	}
-	if !stringly && len(a.Values) == 0 {
-		return fmt.Errorf("axis %q needs numeric Values", a.Param)
-	}
+	// The registry check runs first: a misspelled parameter must say so,
+	// not complain about the value type it would have needed.
 	found := false
 	for _, p := range SweepParams() {
 		if p == a.Param {
@@ -71,6 +61,19 @@ func (a *Axis) validate() error {
 	}
 	if !found {
 		return fmt.Errorf("unknown sweep parameter %q (parameters: %v)", a.Param, SweepParams())
+	}
+	switch {
+	case len(a.Values) > 0 && len(a.Strings) > 0:
+		return fmt.Errorf("axis %q sets both Values and Strings", a.Param)
+	case len(a.Values) == 0 && len(a.Strings) == 0:
+		return fmt.Errorf("axis %q has no values", a.Param)
+	}
+	stringly := a.Param == "protocol" || a.Param == "estimator" || a.Param == "topology"
+	if stringly && len(a.Strings) == 0 {
+		return fmt.Errorf("axis %q needs Strings values", a.Param)
+	}
+	if !stringly && len(a.Values) == 0 {
+		return fmt.Errorf("axis %q needs numeric Values", a.Param)
 	}
 	return nil
 }
@@ -89,6 +92,8 @@ func (a *Axis) apply(s *Spec, i int) {
 		switch a.Param {
 		case "protocol":
 			s.Protocol = a.Strings[i]
+		case "estimator":
+			s.Estimator = a.Strings[i]
 		case "topology":
 			s.Topology.Kind = a.Strings[i]
 		}
@@ -198,12 +203,14 @@ func (sw *Sweep) Cells() ([]Cell, error) {
 			a.apply(&spec, idx[ai])
 			labels[ai] = Label{Param: a.Param, Value: a.label(idx[ai])}
 		}
-		// In a protocol × tablesize cross-product the MultiHopLQI cells
-		// have no link table for the knob to drive; drop it so those cells
-		// run the protocol default instead of failing validation. A
-		// standalone Spec stating the same contradiction still errors.
+		// In a protocol × tablesize (or × estimator) cross-product the
+		// MultiHopLQI cells have no link table for the knob to drive; drop
+		// them so those cells run the protocol default instead of failing
+		// validation. A standalone Spec stating the same contradiction
+		// still errors.
 		if spec.Protocol == "MultiHopLQI" {
 			spec.TableSize, spec.FooterEntries = 0, 0
+			spec.Estimator = ""
 		}
 		if err := spec.Validate(); err != nil {
 			return nil, fmt.Errorf("sweep %q cell %d %v: %w", sw.Name, n, labels, err)
