@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet tier1 bench bench-smoke docs lint golden golden-check clean
+.PHONY: all build test vet tier1 bench bench-smoke docs lint golden golden-check race-probe clean
 
 all: build
 
@@ -36,19 +36,33 @@ docs:
 lint: vet docs
 	@test -z "$$(gofmt -l .)" || { echo "gofmt needed:"; gofmt -l .; exit 1; }
 
-# golden regenerates the run-fingerprint goldens from the current model.
-# Only for deliberate, documented model changes — the goldens certify that
+# golden regenerates the pinned goldens from the current model: the
+# run-fingerprint goldens and the timeline-figure stdout. Only for
+# deliberate, documented model changes — the goldens certify that
 # performance kernels and refactors (like the estimator framework
-# extraction) leave simulation trajectories bit-identical, so a regen that
-# accompanies an "exact" rewrite is a red flag in review.
+# extraction and the probe bus) leave simulation trajectories
+# bit-identical, so a regen that accompanies an "exact" rewrite is a red
+# flag in review.
 golden:
 	$(GO) test ./internal/experiment -run TestGoldenRunFingerprints -update-goldens
+	$(GO) test ./internal/scenario -run TestGoldenTimelineFigure -update-goldens
 
 # golden-check verifies the committed goldens match the current model (the
 # CI guard that a PR did not drift the model without regenerating — or
 # regenerate without saying so; either way the diff makes it visible).
 golden-check:
 	$(GO) test ./internal/experiment -run TestGoldenRunFingerprints -count=1
+	$(GO) test ./internal/scenario -run TestGoldenTimelineFigure -count=1
+
+# race-probe runs the probe-bus test surface under the race detector: the
+# bus itself is single-threaded per run, but many probed runs execute
+# concurrently on the experiment worker pool, so the emit paths must stay
+# data-race-free. CI runs the whole suite with -race; this target is the
+# focused local loop.
+race-probe:
+	$(GO) test -race -count=1 ./internal/probe ./internal/trace ./internal/node
+	$(GO) test -race -count=1 -run 'TestTimeline|TestReplicateCarriesTimelines' ./internal/experiment
+	$(GO) test -race -count=1 -run 'TestAgility|TestWriteTimeline|TestScenarioTimelineRows' ./internal/scenario
 
 # bench runs vet + tier-1 + a one-iteration bench smoke and snapshots the
 # results (with metadata) into BENCH_<date>.json for cross-PR perf diffs.

@@ -3,7 +3,8 @@
 // "Four-Bit Wireless Link Estimation" (HotNets 2007) through their
 // scenario presets; `scenario` and `sweep` run declarative JSON specs (see
 // docs/SCENARIOS.md for the cookbook and DESIGN.md for the experiment
-// index).
+// index); `timeline` runs the agility figure — time-resolved windowed cost
+// around a scripted parent death, per estimator kind.
 //
 // The independent runs behind a figure, scenario replication, or sweep
 // execute on a worker pool sized by -workers (default: all CPUs); results
@@ -18,8 +19,10 @@
 //	fourbitsim fig8      [-seed N] [-minutes M] [-workers W]
 //	fourbitsim headline  [-seed N] [-minutes M] [-workers W]
 //	fourbitsim compare   [-seed N] [-minutes M] [-workers W]
+//	fourbitsim timeline  [-seed N] [-minutes M] [-workers W] [-csv FILE] [-jsonl FILE]
 //	fourbitsim replicate [-seed N] [-minutes M] [-workers W] [-proto P] [-power dBm] [-seeds K] [-estimator E]
 //	fourbitsim scenario  [-preset NAME | -spec FILE | -list] [-seed N] [-workers W] [-estimator E]
+//	                     [-timeline-csv FILE] [-timeline-jsonl FILE]
 //	fourbitsim sweep     [-spec FILE] [-seed N] [-minutes M] [-replicates K]
 //	                     [-csv FILE] [-jsonl FILE] [-workers W]
 //	fourbitsim all       [-seed N] [-minutes M] [-workers W]
@@ -47,39 +50,126 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	seed := fs.Uint64("seed", 1, "experiment seed (replicate/sweep seeds derive from it)")
-	minutes := fs.Float64("minutes", 25, "simulated duration per run (minutes)")
-	hours := fs.Float64("hours", 12, "fig3: simulated duration (hours)")
-	from := fs.Float64("from", 4, "fig3: degradation start (hours)")
-	until := fs.Float64("until", 6, "fig3: degradation end (hours)")
-	workers := fs.Int("workers", experiment.DefaultWorkers(), "parallel runs (<2 = serial)")
-	proto := fs.String("proto", "4B", "replicate: protocol under test (4B, CTP, CTP+unidir, CTP+white, CTP-unlimited, MultiHopLQI)")
-	estimator := fs.String("estimator", "", "replicate/scenario: link-estimator kind for CTP-family protocols (4bit, wmewma, pdr, lqi; empty = the protocol default)")
-	power := fs.Float64("power", 0, "replicate: transmit power (dBm)")
-	nSeeds := fs.Int("seeds", 5, "replicate: number of independent seeds")
-	specFile := fs.String("spec", "", "scenario/sweep: JSON spec file (see docs/SCENARIOS.md)")
-	preset := fs.String("preset", "", "scenario: built-in preset name (see -list)")
-	list := fs.Bool("list", false, "scenario: list built-in presets and exit")
-	replicates := fs.Int("replicates", 3, "sweep: seeds per grid cell (overridden by the spec's Replicates)")
-	csvOut := fs.String("csv", "", "sweep: write the result table as CSV to this file ('-' = stdout)")
-	jsonlOut := fs.String("jsonl", "", "sweep: write per-cell JSONL results to this file ('-' = stdout)")
-	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
-	memProfile := fs.String("memprofile", "", "write an end-of-run heap profile to this file (inspect with go tool pprof)")
-	if err := fs.Parse(os.Args[2:]); err != nil {
+	cmd, args := os.Args[1], os.Args[2:]
+	run, ok := subcommands()[cmd]
+	if !ok {
+		usage()
 		os.Exit(2)
 	}
-	if *minutes <= 0 {
-		fatal(fmt.Errorf("-minutes must be positive, got %g", *minutes))
+	run(args)
+}
+
+// subcommands maps each subcommand to its runner. Every runner builds its
+// flags through commonFlags, so the shared knobs (seed, duration, workers,
+// profiles) cannot drift between subcommands.
+func subcommands() map[string]func([]string) {
+	return map[string]func([]string){
+		"fig2": func(args []string) {
+			c := newCommonFlags("fig2")
+			minutes := c.minutes()
+			defer c.parse(args)()
+			scenario.RunFig2(*c.seed, *minutes, *c.workers).Fprint(os.Stdout)
+		},
+		"fig3": runFig3,
+		"fig6": func(args []string) {
+			c := newCommonFlags("fig6")
+			minutes := c.minutes()
+			defer c.parse(args)()
+			scenario.RunFig6(*c.seed, *minutes, *c.workers).Fprint(os.Stdout)
+		},
+		"fig7": func(args []string) {
+			c := newCommonFlags("fig7")
+			minutes := c.minutes()
+			defer c.parse(args)()
+			scenario.RunPowerSweep(*c.seed, *minutes, *c.workers).FprintFig7(os.Stdout)
+		},
+		"fig8": func(args []string) {
+			c := newCommonFlags("fig8")
+			minutes := c.minutes()
+			defer c.parse(args)()
+			scenario.RunPowerSweep(*c.seed, *minutes, *c.workers).FprintFig8(os.Stdout)
+		},
+		"headline": func(args []string) {
+			c := newCommonFlags("headline")
+			minutes := c.minutes()
+			defer c.parse(args)()
+			scenario.RunHeadline(*c.seed, *minutes, *c.workers).Fprint(os.Stdout)
+		},
+		"compare": func(args []string) {
+			c := newCommonFlags("compare")
+			minutes := c.minutes()
+			defer c.parse(args)()
+			scenario.RunEstCompare(*c.seed, *minutes, *c.workers).Fprint(os.Stdout)
+		},
+		"timeline":  runTimeline,
+		"replicate": runReplicate,
+		"scenario":  runScenario,
+		"sweep":     runSweep,
+		"all": func(args []string) {
+			c := newCommonFlags("all")
+			minutes := c.minutes()
+			defer c.parse(args)()
+			scenario.RunFig2(*c.seed, *minutes, *c.workers).Fprint(os.Stdout)
+			fmt.Println()
+			scenario.RunFig6(*c.seed, *minutes, *c.workers).Fprint(os.Stdout)
+			fmt.Println()
+			sweep := scenario.RunPowerSweep(*c.seed, *minutes, *c.workers)
+			sweep.FprintFig7(os.Stdout)
+			fmt.Println()
+			sweep.FprintFig8(os.Stdout)
+			fmt.Println()
+			scenario.RunHeadline(*c.seed, *minutes, *c.workers).Fprint(os.Stdout)
+		},
 	}
-	// Profiles capture paper-scale workloads without editing code: any
-	// subcommand accepts them, so `fourbitsim fig7 -cpuprofile cpu.out`
-	// profiles exactly what the paper runs. The files are finalized when
-	// the subcommand returns normally (error exits abandon them).
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
+}
+
+// commonFlags registers the knobs every subcommand shares — the master
+// seed, the worker pool, and the pprof capture flags — on one FlagSet, plus
+// opt-in helpers for the duration flags, so subcommands assemble their
+// interface from the same parts instead of redeclaring them.
+type commonFlags struct {
+	fs         *flag.FlagSet
+	seed       *uint64
+	workers    *int
+	cpuProfile *string
+	memProfile *string
+}
+
+func newCommonFlags(cmd string) *commonFlags {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	return &commonFlags{
+		fs:         fs,
+		seed:       fs.Uint64("seed", 1, "experiment seed (replicate/sweep seeds derive from it)"),
+		workers:    fs.Int("workers", experiment.DefaultWorkers(), "parallel runs (<2 = serial)"),
+		cpuProfile: fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)"),
+		memProfile: fs.String("memprofile", "", "write an end-of-run heap profile to this file (inspect with go tool pprof)"),
+	}
+}
+
+// minutes registers the standard run-length flag (for subcommands measured
+// in minutes; fig3 registers hours instead).
+func (c *commonFlags) minutes() *float64 {
+	return c.fs.Float64("minutes", 25, "simulated duration per run (minutes)")
+}
+
+// parse parses args, validates the shared flags, and starts any requested
+// profiles. It returns the finish function the caller must defer: profiles
+// are finalized when the subcommand returns normally (error exits abandon
+// them).
+func (c *commonFlags) parse(args []string) (finish func()) {
+	if err := c.fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if f := c.fs.Lookup("minutes"); f != nil {
+		if m, ok := f.Value.(flag.Getter).Get().(float64); ok && m <= 0 {
+			fatal(fmt.Errorf("-minutes must be positive, got %g", m))
+		}
+	}
+	finish = func() {}
+	if *c.memProfile != "" {
+		path := *c.memProfile
+		finish = func() {
+			f, err := os.Create(path)
 			if err != nil {
 				fatal(err)
 			}
@@ -88,84 +178,30 @@ func main() {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fatal(err)
 			}
-		}()
+		}
 	}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	if *c.cpuProfile != "" {
+		f, err := os.Create(*c.cpuProfile)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
-		defer pprof.StopCPUProfile()
-	}
-	dur := sim.FromSeconds(*minutes * 60)
-
-	switch cmd {
-	case "fig2":
-		scenario.RunFig2(*seed, *minutes, *workers).Fprint(os.Stdout)
-	case "fig3":
-		cfg := experiment.DefaultFig3Config(*seed)
-		cfg.Duration = sim.FromSeconds(*hours * 3600)
-		cfg.DegradeFrom = sim.FromSeconds(*from * 3600)
-		cfg.DegradeUntil = sim.FromSeconds(*until * 3600)
-		experiment.RunFig3(cfg).Fprint(os.Stdout)
-	case "fig6":
-		scenario.RunFig6(*seed, *minutes, *workers).Fprint(os.Stdout)
-	case "fig7":
-		scenario.RunPowerSweep(*seed, *minutes, *workers).FprintFig7(os.Stdout)
-	case "fig8":
-		scenario.RunPowerSweep(*seed, *minutes, *workers).FprintFig8(os.Stdout)
-	case "headline":
-		scenario.RunHeadline(*seed, *minutes, *workers).Fprint(os.Stdout)
-	case "compare":
-		scenario.RunEstCompare(*seed, *minutes, *workers).Fprint(os.Stdout)
-	case "replicate":
-		p, err := experiment.ParseProtocol(*proto)
-		if err != nil {
-			fatal(err)
+		memFinish := finish
+		finish = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			memFinish()
 		}
-		rc := experiment.DefaultRunConfig(p, topo.Mirage(*seed), *seed)
-		rc.TxPowerDBm = *power
-		rc.Duration = dur
-		if *estimator != "" {
-			if p == experiment.ProtoMultiHopLQI {
-				fatal(fmt.Errorf("-estimator does not apply to MultiHopLQI (estimation is inline)"))
-			}
-			kind, err := core.ParseEstimatorKind(*estimator)
-			if err != nil {
-				fatal(err)
-			}
-			rc.Estimator = kind
-		}
-		experiment.ReplicateWorkers(rc, *nSeeds, *workers).Fprint(os.Stdout)
-	case "scenario":
-		runScenario(fs, *specFile, *preset, *list, *seed, *minutes, *replicates, *estimator, *workers)
-	case "sweep":
-		runSweep(fs, *specFile, *seed, *minutes, *replicates, *csvOut, *jsonlOut, *workers)
-	case "all":
-		scenario.RunFig2(*seed, *minutes, *workers).Fprint(os.Stdout)
-		fmt.Println()
-		scenario.RunFig6(*seed, *minutes, *workers).Fprint(os.Stdout)
-		fmt.Println()
-		sweep := scenario.RunPowerSweep(*seed, *minutes, *workers)
-		sweep.FprintFig7(os.Stdout)
-		fmt.Println()
-		sweep.FprintFig8(os.Stdout)
-		fmt.Println()
-		scenario.RunHeadline(*seed, *minutes, *workers).Fprint(os.Stdout)
-	default:
-		usage()
-		os.Exit(2)
 	}
+	return finish
 }
 
-// flagSet reports whether the user passed name explicitly.
-func flagSet(fs *flag.FlagSet, name string) bool {
+// set reports whether the user passed name explicitly.
+func (c *commonFlags) set(name string) bool {
 	set := false
-	fs.Visit(func(f *flag.Flag) {
+	c.fs.Visit(func(f *flag.Flag) {
 		if f.Name == name {
 			set = true
 		}
@@ -173,11 +209,82 @@ func flagSet(fs *flag.FlagSet, name string) bool {
 	return set
 }
 
+// runFig3 is the one bespoke-duration subcommand (hours, not minutes).
+func runFig3(args []string) {
+	c := newCommonFlags("fig3")
+	hours := c.fs.Float64("hours", 12, "simulated duration (hours)")
+	from := c.fs.Float64("from", 4, "degradation start (hours)")
+	until := c.fs.Float64("until", 6, "degradation end (hours)")
+	defer c.parse(args)()
+	cfg := experiment.DefaultFig3Config(*c.seed)
+	cfg.Duration = sim.FromSeconds(*hours * 3600)
+	cfg.DegradeFrom = sim.FromSeconds(*from * 3600)
+	cfg.DegradeUntil = sim.FromSeconds(*until * 3600)
+	experiment.RunFig3(cfg).Fprint(os.Stdout)
+}
+
+// runTimeline executes the agility figure: windowed cost timelines around a
+// scripted parent death, one run per estimator kind, plus the recovery-time
+// table and optional long-format exports.
+func runTimeline(args []string) {
+	c := newCommonFlags("timeline")
+	minutes := c.minutes()
+	csvOut := c.fs.String("csv", "", "write the per-window timelines as CSV to this file ('-' = stdout)")
+	jsonlOut := c.fs.String("jsonl", "", "write the per-run timelines as JSONL to this file ('-' = stdout)")
+	defer c.parse(args)()
+	r := scenario.RunAgility(*c.seed, *minutes, *c.workers)
+	r.Fprint(os.Stdout)
+	writeFile(*csvOut, "timeline CSV", func(f *os.File) error {
+		return scenario.WriteTimelineCSV(f, r.TimelineRows())
+	})
+	writeFile(*jsonlOut, "timeline JSONL", func(f *os.File) error {
+		return scenario.WriteTimelineJSONL(f, r.TimelineRows())
+	})
+}
+
+func runReplicate(args []string) {
+	c := newCommonFlags("replicate")
+	minutes := c.minutes()
+	proto := c.fs.String("proto", "4B", "protocol under test (4B, CTP, CTP+unidir, CTP+white, CTP-unlimited, MultiHopLQI)")
+	estimator := c.fs.String("estimator", "", "link-estimator kind for CTP-family protocols (4bit, wmewma, pdr, lqi; empty = the protocol default)")
+	power := c.fs.Float64("power", 0, "transmit power (dBm)")
+	nSeeds := c.fs.Int("seeds", 5, "number of independent seeds")
+	defer c.parse(args)()
+	p, err := experiment.ParseProtocol(*proto)
+	if err != nil {
+		fatal(err)
+	}
+	rc := experiment.DefaultRunConfig(p, topo.Mirage(*c.seed), *c.seed)
+	rc.TxPowerDBm = *power
+	rc.Duration = sim.FromSeconds(*minutes * 60)
+	if *estimator != "" {
+		if p == experiment.ProtoMultiHopLQI {
+			fatal(fmt.Errorf("-estimator does not apply to MultiHopLQI (estimation is inline)"))
+		}
+		kind, err := core.ParseEstimatorKind(*estimator)
+		if err != nil {
+			fatal(err)
+		}
+		rc.Estimator = kind
+	}
+	experiment.ReplicateWorkers(rc, *nSeeds, *c.workers).Fprint(os.Stdout)
+}
+
 // runScenario executes one scenario from a preset or a JSON spec file.
 // Explicit -seed/-minutes/-replicates/-estimator flags override what the
 // preset or spec file says.
-func runScenario(fs *flag.FlagSet, specFile, preset string, list bool, seed uint64, minutes float64, replicates int, estimator string, workers int) {
-	if list {
+func runScenario(args []string) {
+	c := newCommonFlags("scenario")
+	minutes := c.minutes()
+	specFile := c.fs.String("spec", "", "JSON spec file (see docs/SCENARIOS.md)")
+	preset := c.fs.String("preset", "", "built-in preset name (see -list)")
+	list := c.fs.Bool("list", false, "list built-in presets and exit")
+	replicates := c.fs.Int("replicates", 3, "seeds per scenario (overridden by the spec's Replicates)")
+	estimator := c.fs.String("estimator", "", "link-estimator kind for CTP-family protocols (4bit, wmewma, pdr, lqi)")
+	tlCSV := c.fs.String("timeline-csv", "", "write recorded timelines as CSV to this file ('-' = stdout; needs TimelineS in the spec)")
+	tlJSONL := c.fs.String("timeline-jsonl", "", "write recorded timelines as JSONL to this file ('-' = stdout)")
+	defer c.parse(args)()
+	if *list {
 		fmt.Println("built-in scenario presets:")
 		for _, p := range scenario.Presets() {
 			fmt.Printf("  %-26s %s\n", p.Name, p.Desc)
@@ -186,8 +293,8 @@ func runScenario(fs *flag.FlagSet, specFile, preset string, list bool, seed uint
 	}
 	var spec scenario.Spec
 	switch {
-	case specFile != "":
-		data, err := os.ReadFile(specFile)
+	case *specFile != "":
+		data, err := os.ReadFile(*specFile)
 		if err != nil {
 			fatal(err)
 		}
@@ -195,28 +302,28 @@ func runScenario(fs *flag.FlagSet, specFile, preset string, list bool, seed uint
 		if err != nil {
 			fatal(err)
 		}
-	case preset != "":
-		p, ok := scenario.Preset(preset)
+	case *preset != "":
+		p, ok := scenario.Preset(*preset)
 		if !ok {
-			fatal(fmt.Errorf("unknown preset %q (use -list)", preset))
+			fatal(fmt.Errorf("unknown preset %q (use -list)", *preset))
 		}
 		spec = p.Spec
 	default:
 		fatal(fmt.Errorf("scenario needs -preset NAME, -spec FILE, or -list"))
 	}
-	if flagSet(fs, "seed") {
-		spec.Seed = seed
+	if c.set("seed") {
+		spec.Seed = *c.seed
 	}
-	if flagSet(fs, "minutes") {
-		spec.DurationMin = minutes
+	if c.set("minutes") {
+		spec.DurationMin = *minutes
 	}
-	if flagSet(fs, "replicates") {
-		spec.Replicates = replicates
+	if c.set("replicates") {
+		spec.Replicates = *replicates
 	}
-	if flagSet(fs, "estimator") {
-		spec.Estimator = estimator
+	if c.set("estimator") {
+		spec.Estimator = *estimator
 	}
-	rep, err := spec.Run(workers)
+	rep, err := spec.Run(*c.workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -226,14 +333,29 @@ func runScenario(fs *flag.FlagSet, specFile, preset string, list bool, seed uint
 	}
 	fmt.Printf("%s:\n", name)
 	rep.Fprint(os.Stdout)
+	scenario.FprintRecovery(os.Stdout, &spec, rep)
+	rows := scenario.TimelineRows(name, rep)
+	writeFile(*tlCSV, "timeline CSV", func(f *os.File) error {
+		return scenario.WriteTimelineCSV(f, rows)
+	})
+	writeFile(*tlJSONL, "timeline JSONL", func(f *os.File) error {
+		return scenario.WriteTimelineJSONL(f, rows)
+	})
 }
 
 // runSweep executes a parameter grid and writes its exports. With a spec
 // file, explicit -seed/-minutes/-replicates flags override the file's base.
-func runSweep(fs *flag.FlagSet, specFile string, seed uint64, minutes float64, replicates int, csvOut, jsonlOut string, workers int) {
+func runSweep(args []string) {
+	c := newCommonFlags("sweep")
+	minutes := c.minutes()
+	specFile := c.fs.String("spec", "", "JSON Sweep spec file (see docs/SCENARIOS.md)")
+	replicates := c.fs.Int("replicates", 3, "seeds per grid cell (overridden by the spec's Replicates)")
+	csvOut := c.fs.String("csv", "", "write the result table as CSV to this file ('-' = stdout)")
+	jsonlOut := c.fs.String("jsonl", "", "write per-cell JSONL results to this file ('-' = stdout)")
+	defer c.parse(args)()
 	var sw scenario.Sweep
-	if specFile != "" {
-		data, err := os.ReadFile(specFile)
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
 		if err != nil {
 			fatal(err)
 		}
@@ -241,50 +363,52 @@ func runSweep(fs *flag.FlagSet, specFile string, seed uint64, minutes float64, r
 		if err != nil {
 			fatal(err)
 		}
-		if flagSet(fs, "seed") {
-			sw.Base.Seed = seed
+		if c.set("seed") {
+			sw.Base.Seed = *c.seed
 		}
-		if flagSet(fs, "minutes") {
-			sw.Base.DurationMin = minutes
+		if c.set("minutes") {
+			sw.Base.DurationMin = *minutes
 		}
-		if flagSet(fs, "replicates") {
-			sw.Base.Replicates = replicates
+		if c.set("replicates") {
+			sw.Base.Replicates = *replicates
 		}
 	} else {
-		sw = scenario.DefaultSweep(seed, minutes, replicates)
+		sw = scenario.DefaultSweep(*c.seed, *minutes, *replicates)
 	}
-	res, err := sw.Run(workers)
+	res, err := sw.Run(*c.workers)
 	if err != nil {
 		fatal(err)
 	}
 	res.Fprint(os.Stdout)
-	write := func(path, what string, emit func(*os.File) error) {
-		if path == "" {
-			return
-		}
-		if path == "-" {
-			if err := emit(os.Stdout); err != nil {
-				fatal(err)
-			}
-			return
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		if err := emit(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		// A close failure (ENOSPC write-back) would silently truncate the
-		// results of a possibly hours-long sweep.
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s to %s\n", what, path)
+	writeFile(*csvOut, "CSV", func(f *os.File) error { return res.WriteCSV(f) })
+	writeFile(*jsonlOut, "JSONL", func(f *os.File) error { return res.WriteJSONL(f) })
+}
+
+// writeFile routes an export to a path ('-' = stdout; empty = skip),
+// treating close failures as fatal — an ENOSPC write-back would silently
+// truncate the results of a possibly hours-long run.
+func writeFile(path, what string, emit func(*os.File) error) {
+	if path == "" {
+		return
 	}
-	write(csvOut, "CSV", func(f *os.File) error { return res.WriteCSV(f) })
-	write(jsonlOut, "JSONL", func(f *os.File) error { return res.WriteJSONL(f) })
+	if path == "-" {
+		if err := emit(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s to %s\n", what, path)
 }
 
 func fatal(err error) {
@@ -305,6 +429,8 @@ subcommands:
   headline  4B vs MultiHopLQI on Mirage and TutorNet
   compare   head-to-head estimator comparison: one CTP router, the 4bit,
             wmewma, pdr and lqi estimators swapped in on the default grid
+  timeline  the agility figure: windowed cost timelines around a scripted
+            parent death, per estimator kind, with recovery-time
   replicate one protocol across K independent seeds, with mean ± stddev
   scenario  run one declarative scenario (-preset NAME | -spec FILE | -list)
   sweep     expand a parameter grid into replicated runs; default grid is
@@ -320,12 +446,15 @@ common flags:
   -memprofile F write an end-of-run heap profile to F (go tool pprof)
 
 fig3 flags:      -hours H (duration), -from H / -until H (degradation window)
+timeline flags:  -csv FILE / -jsonl FILE (per-window timeline export)
 replicate flags: -proto P (protocol name), -power dBm, -seeds K,
                  -estimator E (4bit, wmewma, pdr, lqi; CTP family only)
-scenario flags:  -preset NAME, -spec FILE (JSON Spec), -list, -estimator E
+scenario flags:  -preset NAME, -spec FILE (JSON Spec), -list, -estimator E,
+                 -timeline-csv FILE / -timeline-jsonl FILE
 sweep flags:     -spec FILE (JSON Sweep), -replicates K (seeds per cell),
                  -csv FILE, -jsonl FILE ('-' = stdout)
 
-Spec and Sweep JSON schemas, every knob, and worked examples are in
-docs/SCENARIOS.md; examples/sweep shows the same through the Go API.`)
+Spec and Sweep JSON schemas, every knob, timelines and the recovery-time
+metric are documented in docs/SCENARIOS.md; examples/sweep shows the same
+through the Go API.`)
 }

@@ -29,6 +29,7 @@ import (
 	"fourbit/internal/node"
 	"fourbit/internal/packet"
 	"fourbit/internal/phy"
+	"fourbit/internal/probe"
 	"fourbit/internal/scenario"
 	"fourbit/internal/sim"
 	"fourbit/internal/topo"
@@ -210,6 +211,30 @@ func Corridor(n int, length, width float64, seed uint64) *Topology {
 func MultiFloor(n, floors int, w, h float64, seed uint64) *Topology {
 	return topo.MultiFloor(n, floors, w, h, seed)
 }
+
+// Observability surface. Every run carries a probe bus (Env.Probes) into
+// which the protocol layers emit typed events; sinks are pure observers,
+// so attaching one never changes a run's trajectory. Timelines are the
+// bundled windowed sink: set RunConfig.TimelineWindow (or a Scenario's
+// TimelineS) and read Result.Timeline.
+type (
+	// ProbeBus fans typed run events out to attached sinks.
+	ProbeBus = probe.Bus
+	// ProbeSink receives the bus's typed events (embed probe.BaseSink).
+	ProbeSink = probe.Sink
+	// Timeline is a run's windowed metrics (cost, delivery, churn).
+	Timeline = probe.Timeline
+	// TimelineWindow is one window of a Timeline.
+	TimelineWindow = probe.Window
+	// Recovery is the recovery-time metric after a scripted event.
+	Recovery = probe.Recovery
+)
+
+// NewTimelineCollector builds a windowed timeline sink; attach it with
+// env.Probes.Attach and call Finalize(env.Clock.Now()) after the run.
+// (Runs configured through RunConfig.TimelineWindow do this wiring
+// themselves.)
+func NewTimelineCollector(window Time) *probe.Collector { return probe.NewCollector(window) }
 
 // Trace-driven simulation surface.
 type (

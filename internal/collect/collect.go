@@ -10,6 +10,7 @@ import (
 	"errors"
 
 	"fourbit/internal/packet"
+	"fourbit/internal/probe"
 	"fourbit/internal/sim"
 )
 
@@ -62,6 +63,7 @@ type Source struct {
 	send   func(data []byte) bool
 	origin packet.Addr
 	ledger *Ledger
+	probes *probe.Bus
 	seq    uint32
 
 	Generated uint64
@@ -69,10 +71,12 @@ type Source struct {
 }
 
 // NewSource builds a generator for origin that submits through send and
-// accounts generation in ledger.
+// accounts generation in ledger. Each offered packet is also emitted as a
+// probe.GenerateEvent into the bus installed on clock, if any.
 func NewSource(clock *sim.Simulator, origin packet.Addr, wl Workload, rng *sim.Rand,
 	send func([]byte) bool, ledger *Ledger) *Source {
-	return &Source{clock: clock, wl: wl, rng: rng, send: send, origin: origin, ledger: ledger}
+	return &Source{clock: clock, wl: wl, rng: rng, send: send, origin: origin,
+		ledger: ledger, probes: probe.FromSim(clock)}
 }
 
 // Start schedules the first packet at boot + U[0, Period].
@@ -85,9 +89,11 @@ func (s *Source) fire() {
 	s.seq++
 	s.Generated++
 	s.ledger.NoteGenerated(s.origin, s.seq)
-	if !s.send(EncodeReading(s.seq, s.wl.PayloadBytes)) {
+	accepted := s.send(EncodeReading(s.seq, s.wl.PayloadBytes))
+	if !accepted {
 		s.Refused++
 	}
+	s.probes.Generate(s.origin, s.seq, accepted)
 	j := s.wl.JitterFrac
 	gap := s.wl.Period.Scale(s.rng.Uniform(1-j, 1+j))
 	s.clock.After(gap, s.fire)

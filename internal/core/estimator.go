@@ -2,6 +2,7 @@ package core
 
 import (
 	"fourbit/internal/packet"
+	"fourbit/internal/probe"
 	"fourbit/internal/sim"
 )
 
@@ -71,7 +72,7 @@ func New(self packet.Addr, cfg Config, cmp Comparer, rng *sim.Rand) *Estimator {
 		panic("core: invalid estimator config: " + err.Error())
 	}
 	return &Estimator{
-		tableView: tableView{table: newTable(cfg.TableSize)},
+		tableView: tableView{table: newTable(cfg.TableSize), self: self},
 		cfg:       cfg,
 		self:      self,
 		cmp:       cmp,
@@ -135,20 +136,23 @@ func (est *Estimator) OnBeacon(src packet.Addr, le *packet.LEFrame, meta RxMeta,
 func (est *Estimator) admit(src packet.Addr, le *packet.LEFrame, meta RxMeta) *Entry {
 	if e := est.table.Insert(src); e != nil {
 		est.Stats.Inserted++
+		est.probes.Table(est.self, src, probe.OpInsert)
 		return e
 	}
 	// Standard policy first: displace a demonstrably useless entry. This
 	// keeps squatters from poisoning the white/compare path below.
-	if evictWorst(est.table, est.effectiveETX, est.cfg.EvictETX) {
+	if victim, ok := evictWorst(est.table, est.effectiveETX, est.cfg.EvictETX); ok {
 		est.Stats.Replaced++
+		est.emitReplace(victim, src)
 		return mustInsert(est.table, src)
 	}
 	if est.cfg.Features.WhiteCompare && meta.White && est.cmp != nil {
 		est.Stats.CompareAsked++
 		if est.cmp.CompareBit(src, le.NetPayload) {
 			est.Stats.CompareTrue++
-			if evictForReplacement(est.table, est.effectiveETX, est.rng) {
+			if victim, ok := evictForReplacement(est.table, est.effectiveETX, est.rng); ok {
 				est.Stats.Replaced++
+				est.emitReplace(victim, src)
 				return mustInsert(est.table, src)
 			}
 		}
@@ -158,12 +162,16 @@ func (est *Estimator) admit(src packet.Addr, le *packet.LEFrame, meta RxMeta) *E
 	// is the worst unpinned entry, never a random good one — otherwise
 	// rarely-heard phantom neighbors (one lucky fade per hour) would
 	// erode real links in sparse low-power networks.
-	if est.rng.Bernoulli(est.cfg.LotteryProb) && evictForReplacement(est.table, est.effectiveETX, est.rng) {
-		est.Stats.Replaced++
-		est.Stats.LotteryWins++
-		return mustInsert(est.table, src)
+	if est.rng.Bernoulli(est.cfg.LotteryProb) {
+		if victim, ok := evictForReplacement(est.table, est.effectiveETX, est.rng); ok {
+			est.Stats.Replaced++
+			est.Stats.LotteryWins++
+			est.emitReplace(victim, src)
+			return mustInsert(est.table, src)
+		}
 	}
 	est.Stats.RejectedFull++
+	est.probes.Table(est.self, src, probe.OpReject)
 	return nil
 }
 

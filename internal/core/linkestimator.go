@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fourbit/internal/packet"
+	"fourbit/internal/probe"
 	"fourbit/internal/sim"
 )
 
@@ -61,6 +62,12 @@ type LinkEstimator interface {
 	// Envelope and wiring.
 	MakeBeacon(netPayload []byte) *packet.LEFrame
 	SetComparer(cmp Comparer)
+	// SetProbes installs the run's probe bus; the estimator emits its
+	// table admission/eviction events into it. A nil bus (the default)
+	// silences the events. Like SetComparer it exists for post-construction
+	// wiring — estimators are built without a clock, so they cannot find
+	// the bus themselves.
+	SetProbes(b *probe.Bus)
 
 	// Counters returns the estimator-internal event counts.
 	Counters() Stats

@@ -82,7 +82,7 @@ func NewLQIEstimator(self packet.Addr, cfg Config, rng *sim.Rand) *LQIEstimator 
 		panic("core: invalid estimator config: " + err.Error())
 	}
 	return &LQIEstimator{
-		tableView: tableView{table: newTable(cfg.TableSize)},
+		tableView: tableView{table: newTable(cfg.TableSize), self: self},
 		cfg:       cfg,
 		self:      self,
 		rng:       rng,
@@ -113,7 +113,7 @@ func (est *LQIEstimator) OnBeacon(src packet.Addr, le *packet.LEFrame, meta RxMe
 	est.stats.BeaconsIn++
 	e := est.table.Find(src)
 	if e == nil {
-		e = admitBasic(est.table, est.rng, &est.cfg, &est.stats, est.effectiveETX, src)
+		e = admitBasic(&est.tableView, est.rng, &est.cfg, &est.stats, est.effectiveETX, src)
 	}
 	if e != nil {
 		e.lastHeard = now

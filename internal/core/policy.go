@@ -2,6 +2,7 @@ package core
 
 import (
 	"fourbit/internal/packet"
+	"fourbit/internal/probe"
 	"fourbit/internal/sim"
 )
 
@@ -12,10 +13,19 @@ import (
 // estimator file contains only what makes that estimator different.
 
 // tableView provides the neighbor-table half of the LinkEstimator contract
-// over a shared *Table. Estimators embed it.
+// over a shared *Table, plus the probe-bus plumbing every kind shares.
+// Estimators embed it.
 type tableView struct {
-	table *Table
+	table  *Table
+	self   packet.Addr
+	probes *probe.Bus
 }
+
+// SetProbes implements LinkEstimator: it installs the run's probe bus,
+// into which the estimator emits its table admission/eviction events.
+// Estimators are built without a clock, so unlike the other layers they
+// receive the bus explicitly (node wiring calls this right after NewKind).
+func (v *tableView) SetProbes(b *probe.Bus) { v.probes = b }
 
 // Table exposes the link table for inspection (routing, metrics, tests).
 func (v *tableView) Table() *Table { return v.table }
@@ -46,10 +56,10 @@ func (v *tableView) Neighbors() []packet.Addr {
 }
 
 // evictWorst removes the unpinned entry with the highest effective ETX if
-// that ETX reaches the eviction threshold, reporting whether a slot was
-// freed. Mature entries without an estimate count as MaxETX (the eff
-// callback encodes that).
-func evictWorst(t *Table, eff func(*Entry) float64, threshold float64) bool {
+// that ETX reaches the eviction threshold, naming the victim and reporting
+// whether a slot was freed. Mature entries without an estimate count as
+// MaxETX (the eff callback encodes that).
+func evictWorst(t *Table, eff func(*Entry) float64, threshold float64) (packet.Addr, bool) {
 	var victim packet.Addr
 	worst := -1.0
 	for _, e := range t.Entries() {
@@ -63,9 +73,9 @@ func evictWorst(t *Table, eff func(*Entry) float64, threshold float64) bool {
 		}
 	}
 	if worst < threshold {
-		return false
+		return 0, false
 	}
-	return t.Remove(victim)
+	return victim, t.Remove(victim)
 }
 
 // evictForReplacement frees a slot for a qualified newcomer: the unpinned
@@ -74,8 +84,9 @@ func evictWorst(t *Table, eff func(*Entry) float64, threshold float64) bool {
 // bit); if every unpinned entry is still warming up, a random one goes
 // instead. Evicting the *best* links here would churn the table faster
 // than estimates mature — the failure mode the maturity rules of Woo et
-// al. exist to prevent.
-func evictForReplacement(t *Table, eff func(*Entry) float64, rng *sim.Rand) bool {
+// al. exist to prevent. The victim is named so callers can report the
+// eviction.
+func evictForReplacement(t *Table, eff func(*Entry) float64, rng *sim.Rand) (packet.Addr, bool) {
 	var victim packet.Addr
 	worst := 0.0
 	for _, e := range t.Entries() {
@@ -88,9 +99,9 @@ func evictForReplacement(t *Table, eff func(*Entry) float64, rng *sim.Rand) bool
 		}
 	}
 	if worst > 0 {
-		return t.Remove(victim)
+		return victim, t.Remove(victim)
 	}
-	return t.EvictRandomUnpinned(rng)
+	return t.evictRandomUnpinned(rng)
 }
 
 // matureWindows is the number of completed estimation windows after which
@@ -111,23 +122,37 @@ func mustInsert(t *Table, src packet.Addr) *Entry {
 // slots are always granted; otherwise the standard replacement policy
 // (displace a useless entry whose effective ETX reaches EvictETX) and the
 // FREQUENCY lottery apply — the four-bit white/compare path in between is
-// the one admission step unique to that design.
-func admitBasic(t *Table, rng *sim.Rand, cfg *Config, stats *Stats, eff func(*Entry) float64, src packet.Addr) *Entry {
+// the one admission step unique to that design. Admission outcomes are
+// emitted as table events through the view's probe bus.
+func admitBasic(v *tableView, rng *sim.Rand, cfg *Config, stats *Stats, eff func(*Entry) float64, src packet.Addr) *Entry {
+	t := v.table
 	if e := t.Insert(src); e != nil {
 		stats.Inserted++
+		v.probes.Table(v.self, src, probe.OpInsert)
 		return e
 	}
-	if evictWorst(t, eff, cfg.EvictETX) {
+	if victim, ok := evictWorst(t, eff, cfg.EvictETX); ok {
 		stats.Replaced++
+		v.emitReplace(victim, src)
 		return mustInsert(t, src)
 	}
-	if rng.Bernoulli(cfg.LotteryProb) && evictForReplacement(t, eff, rng) {
-		stats.Replaced++
-		stats.LotteryWins++
-		return mustInsert(t, src)
+	if rng.Bernoulli(cfg.LotteryProb) {
+		if victim, ok := evictForReplacement(t, eff, rng); ok {
+			stats.Replaced++
+			stats.LotteryWins++
+			v.emitReplace(victim, src)
+			return mustInsert(t, src)
+		}
 	}
 	stats.RejectedFull++
+	v.probes.Table(v.self, src, probe.OpReject)
 	return nil
+}
+
+// emitReplace reports an eviction-for-admission pair on the probe bus.
+func (v *tableView) emitReplace(victim, newcomer packet.Addr) {
+	v.probes.Table(v.self, victim, probe.OpEvict)
+	v.probes.Table(v.self, newcomer, probe.OpReplace)
 }
 
 // accountSeq folds a received beacon's sequence number into the entry's
@@ -219,7 +244,7 @@ func newBeaconKind(self packet.Addr, cfg Config, rng *sim.Rand) beaconKind {
 		panic("core: invalid estimator config: " + err.Error())
 	}
 	return beaconKind{
-		tableView: tableView{table: newTable(cfg.TableSize)},
+		tableView: tableView{table: newTable(cfg.TableSize), self: self},
 		cfg:       cfg,
 		self:      self,
 		rng:       rng,
@@ -252,7 +277,7 @@ func (k *beaconKind) OnBeacon(src packet.Addr, le *packet.LEFrame, meta RxMeta, 
 	k.stats.BeaconsIn++
 	e := k.table.Find(src)
 	if e == nil {
-		e = admitBasic(k.table, k.rng, &k.cfg, &k.stats, k.effectiveETX, src)
+		e = admitBasic(&k.tableView, k.rng, &k.cfg, &k.stats, k.effectiveETX, src)
 	}
 	if e != nil {
 		accountSeq(e, le.Seq, k.cfg.MaxSeqGap, now)

@@ -140,6 +140,13 @@ func (t *Table) removeAt(i int) {
 // EvictRandomUnpinned removes one uniformly-chosen unpinned entry — the
 // replacement policy of §3.3 — and reports whether a slot was freed.
 func (t *Table) EvictRandomUnpinned(rng *sim.Rand) bool {
+	_, ok := t.evictRandomUnpinned(rng)
+	return ok
+}
+
+// evictRandomUnpinned is EvictRandomUnpinned naming its victim, for callers
+// that report the eviction (the probe bus's table events).
+func (t *Table) evictRandomUnpinned(rng *sim.Rand) (packet.Addr, bool) {
 	victims := t.scratch[:0]
 	for i, e := range t.entries {
 		if !e.Pinned {
@@ -148,10 +155,12 @@ func (t *Table) EvictRandomUnpinned(rng *sim.Rand) bool {
 	}
 	t.scratch = victims[:0]
 	if len(victims) == 0 {
-		return false
+		return 0, false
 	}
-	t.removeAt(victims[rng.Intn(len(victims))])
-	return true
+	i := victims[rng.Intn(len(victims))]
+	victim := t.entries[i].Addr
+	t.removeAt(i)
+	return victim, true
 }
 
 // Remove deletes addr from the table (regardless of pinning; the network

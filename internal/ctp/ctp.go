@@ -18,6 +18,7 @@ import (
 	"fourbit/internal/mac"
 	"fourbit/internal/packet"
 	"fourbit/internal/phy"
+	"fourbit/internal/probe"
 	"fourbit/internal/sim"
 )
 
@@ -107,6 +108,7 @@ type Node struct {
 	self   packet.Addr
 	isRoot bool
 	rng    *sim.Rand
+	probes *probe.Bus
 
 	deliver Deliver
 
@@ -144,6 +146,7 @@ func New(clock *sim.Simulator, m *mac.MAC, est core.LinkEstimator, isRoot bool, 
 		self:   m.Addr(),
 		isRoot: isRoot,
 		rng:    rng,
+		probes: probe.FromSim(clock),
 		parent: packet.None,
 		cost:   noCost,
 		dup:    newDupCache(cfg.DupCacheSize),

@@ -117,14 +117,17 @@ func (n *Node) updateRoute() {
 	switch {
 	case best == packet.None:
 		if n.parent != packet.None {
+			old := n.parent
 			n.est.Unpin(n.parent)
 			n.parent = packet.None
 			n.cost = noCost
 			n.Stats.ParentChanges++
+			n.probes.ParentChange(n.self, old, packet.None, 0)
 			n.trickleReset() // lost the route: ask for help (pull)
 		}
 	case !curOK || bestTotal+n.cfg.ParentSwitchThreshold < curTotal:
 		if best != n.parent {
+			old := n.parent
 			if n.parent != packet.None {
 				n.est.Unpin(n.parent)
 			}
@@ -133,6 +136,7 @@ func (n *Node) updateRoute() {
 			n.est.Pin(best)
 			n.Stats.ParentChanges++
 			n.cost = bestTotal
+			n.probes.ParentChange(n.self, old, best, bestTotal)
 			if !hadRoute || curOK {
 				n.trickleReset()
 			}
@@ -195,6 +199,7 @@ func (n *Node) sendBeacon() {
 	f := &packet.Frame{Type: packet.TypeBeacon, Src: n.self, Dst: packet.Broadcast, Payload: leBytes}
 	if n.m.Send(f, func(mac.TxResult) { n.pump() }) == nil {
 		n.Stats.BeaconsSent++
+		n.probes.Beacon(n.self, cb.ETX, cb.Options&packet.CTPOptPull != 0)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fourbit/internal/metrics"
 	"fourbit/internal/node"
 	"fourbit/internal/packet"
+	"fourbit/internal/probe"
 	"fourbit/internal/sim"
 	"fourbit/internal/topo"
 )
@@ -118,8 +119,14 @@ type RunConfig struct {
 	LQI *lqirouter.Config
 	// EnvMutate, if set, runs after the environment is built and before
 	// the network boots (scenario hooks install link modifiers and
-	// schedule dynamics events here).
+	// schedule dynamics events here). The env's probe bus is live at this
+	// point, so the hook may also attach custom probe sinks.
 	EnvMutate func(*node.Env)
+	// TimelineWindow, when positive, attaches a probe.Collector to the
+	// run's bus and fills Result.Timeline with windowed metrics at that
+	// window width. Zero (the default) keeps the run unprobed — collectors
+	// are pure observers either way, so the trajectory is identical.
+	TimelineWindow sim.Time
 }
 
 // DefaultRunConfig returns the standard 25-minute Mirage-style run.
@@ -180,6 +187,10 @@ type Result struct {
 	EstBeaconWin   uint64 // completed beacon/estimation windows
 	EstUnicastWin  uint64 // completed unicast (ack-bit) windows
 	EstAgedMisses  uint64
+
+	// Timeline holds the run's windowed metrics when RunConfig asked for
+	// them (TimelineWindow > 0); nil otherwise.
+	Timeline *probe.Timeline
 }
 
 // EnvConfigFor derives the channel parameterization for a testbed. The
@@ -208,6 +219,11 @@ func Run(rc RunConfig) *Result {
 		envCfg.TxPowerDBm = rc.TxPowerDBm
 	}
 	env := node.NewEnv(rc.Topo, envCfg)
+	var timeline *probe.Collector
+	if rc.TimelineWindow > 0 {
+		timeline = probe.NewCollector(rc.TimelineWindow)
+		env.Probes.Attach(timeline)
+	}
 	if rc.EnvMutate != nil {
 		rc.EnvMutate(env)
 	}
@@ -298,6 +314,9 @@ func Run(rc RunConfig) *Result {
 		res.EstBeaconsIn, res.EstLotteryWins = s.BeaconsIn, s.LotteryWins
 		res.EstBeaconWin, res.EstUnicastWin = s.BeaconWindows, s.UnicastWindows
 		res.EstAgedMisses = s.AgedMisses
+	}
+	if timeline != nil {
+		res.Timeline = timeline.Finalize(env.Clock.Now())
 	}
 	return res
 }

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"testing"
+
+	"fourbit/internal/sim"
+	"fourbit/internal/topo"
+)
+
+func timelineTestConfig(seed uint64) RunConfig {
+	rc := DefaultRunConfig(Proto4B, topo.Grid(4, 4, 6), seed)
+	rc.Duration = 3 * sim.Minute
+	rc.Warmup = 30 * sim.Second
+	rc.SampleEvery = 30 * sim.Second
+	return rc
+}
+
+// A run with a timeline attached must replay the identical trajectory —
+// the collector is a pure observer — and the timeline's window totals must
+// reconcile exactly with the end-of-run aggregates computed from the
+// per-node counters.
+func TestTimelineMatchesAggregates(t *testing.T) {
+	plain := Run(timelineTestConfig(3))
+	rc := timelineTestConfig(3)
+	rc.TimelineWindow = 20 * sim.Second
+	probed := Run(rc)
+
+	if probed.Timeline == nil {
+		t.Fatal("no timeline recorded")
+	}
+	if plain.Timeline != nil {
+		t.Fatal("unrequested timeline recorded")
+	}
+	// Identical trajectory: the full fingerprint (every float to the last
+	// bit) must match the unprobed run.
+	fpPlain, fpProbed := fingerprint(timelineTestConfig(3), plain), fingerprint(rc, probed)
+	if fpPlain != fpProbed {
+		t.Errorf("timeline collection changed the run:\nplain:\n%s\nprobed:\n%s", fpPlain, fpProbed)
+	}
+
+	tl := probed.Timeline
+	if tl.Window != 20*sim.Second {
+		t.Errorf("window = %v", tl.Window)
+	}
+	var dataTx, beaconTx, delivered, generated uint64
+	for i := range tl.Windows {
+		w := &tl.Windows[i]
+		dataTx += w.DataTx
+		beaconTx += w.BeaconTx
+		delivered += w.Delivered
+		generated += w.Generated
+	}
+	if dataTx != probed.DataTx {
+		t.Errorf("timeline DataTx = %d, result = %d", dataTx, probed.DataTx)
+	}
+	if beaconTx != probed.BeaconTx {
+		t.Errorf("timeline BeaconTx = %d, result = %d", beaconTx, probed.BeaconTx)
+	}
+	if delivered != probed.Unique+probed.Duplicates {
+		t.Errorf("timeline Delivered = %d, result = %d unique + %d dups", delivered, probed.Unique, probed.Duplicates)
+	}
+	if generated != probed.Generated {
+		t.Errorf("timeline Generated = %d, result = %d", generated, probed.Generated)
+	}
+	// Windows tile the run exactly.
+	last := tl.Windows[len(tl.Windows)-1]
+	if tl.Windows[0].Start != 0 || last.End != rc.Duration {
+		t.Errorf("timeline spans [%v, %v), want [0, %v)", tl.Windows[0].Start, last.End, rc.Duration)
+	}
+	for i := 1; i < len(tl.Windows); i++ {
+		if tl.Windows[i].Start != tl.Windows[i-1].End {
+			t.Fatalf("window %d does not abut its predecessor", i)
+		}
+	}
+}
+
+// Replication carries each run's timeline through to the replicated result.
+func TestReplicateCarriesTimelines(t *testing.T) {
+	rc := timelineTestConfig(5)
+	rc.TimelineWindow = 30 * sim.Second
+	rep := ReplicateWorkers(rc, 2, 2)
+	if len(rep.Runs) != 2 {
+		t.Fatalf("runs = %d", len(rep.Runs))
+	}
+	for i, run := range rep.Runs {
+		if run.Timeline == nil {
+			t.Errorf("run %d lost its timeline", i)
+		}
+	}
+}

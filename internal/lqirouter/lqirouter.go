@@ -17,6 +17,7 @@ import (
 	"fourbit/internal/mac"
 	"fourbit/internal/packet"
 	"fourbit/internal/phy"
+	"fourbit/internal/probe"
 	"fourbit/internal/sim"
 )
 
@@ -82,6 +83,7 @@ type Node struct {
 	self   packet.Addr
 	isRoot bool
 	rng    *sim.Rand
+	probes *probe.Bus
 
 	deliver Deliver
 
@@ -116,6 +118,7 @@ func New(clock *sim.Simulator, m *mac.MAC, isRoot bool, cfg Config, rng *sim.Ran
 		self:   m.Addr(),
 		isRoot: isRoot,
 		rng:    rng,
+		probes: probe.FromSim(clock),
 		parent: packet.None,
 		myCost: noRoute,
 		dup:    make(map[dupKey]struct{}, cfg.DupCacheSize),
@@ -163,9 +166,11 @@ func (n *Node) beaconFire() {
 	// Route liveness: a parent silent past the timeout is abandoned.
 	if !n.isRoot && n.parent != packet.None &&
 		n.clock.Now()-n.lastParent > n.cfg.RouteTimeout {
+		old := n.parent
 		n.parent = packet.None
 		n.myCost = noRoute
 		n.Stats.ParentChanges++
+		n.probes.ParentChange(n.self, old, packet.None, 0)
 	}
 	n.sendBeacon()
 	n.scheduleBeacon(false)
@@ -184,6 +189,7 @@ func (n *Node) sendBeacon() {
 	f := &packet.Frame{Type: packet.TypeBeacon, Src: n.self, Dst: packet.Broadcast, Payload: payload}
 	if n.m.Send(f, func(mac.TxResult) { n.pump() }) == nil {
 		n.Stats.BeaconsSent++
+		n.probes.Beacon(n.self, n.myCost, false)
 	}
 }
 
@@ -231,6 +237,10 @@ func (n *Node) handleBeacon(src packet.Addr, b *packet.LQIBeacon, info phy.RxInf
 	if total < n.myCost {
 		if n.parent != src {
 			n.Stats.ParentChanges++
+			// ParentChangeEvent.Cost is ETX-comparable by contract; the
+			// raw MultiHopLQI cost normalizes onto that scale by the
+			// saturated-LQI hop cost (exactly core.ETXFromLQI's anchor).
+			n.probes.ParentChange(n.self, n.parent, src, float64(total)/float64(core.AdjustLQI(110)))
 		}
 		n.parent = src
 		n.myCost = total

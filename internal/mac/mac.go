@@ -14,6 +14,7 @@ import (
 
 	"fourbit/internal/packet"
 	"fourbit/internal/phy"
+	"fourbit/internal/probe"
 	"fourbit/internal/sim"
 )
 
@@ -91,12 +92,13 @@ type Receiver func(f *packet.Frame, info phy.RxInfo)
 // per beacon, this removes the largest steady-state allocation source in
 // the simulator.
 type MAC struct {
-	clock *sim.Simulator
-	radio *phy.Radio
-	addr  packet.Addr
-	p     Params
-	rng   *sim.Rand
-	recv  Receiver
+	clock  *sim.Simulator
+	radio  *phy.Radio
+	addr   packet.Addr
+	p      Params
+	rng    *sim.Rand
+	recv   Receiver
+	probes *probe.Bus
 
 	dsn     uint8
 	cur     *txOp // nil, or &m.op
@@ -141,9 +143,11 @@ type txOp struct {
 	state    txState
 }
 
-// New builds a MAC bound to a radio. rng drives backoff draws.
+// New builds a MAC bound to a radio. rng drives backoff draws. The MAC
+// emits its transmission outcomes (the tx/ack probe events) into the probe
+// bus installed on clock, if any.
 func New(clock *sim.Simulator, radio *phy.Radio, addr packet.Addr, p Params, rng *sim.Rand) *MAC {
-	m := &MAC{clock: clock, radio: radio, addr: addr, p: p, rng: rng}
+	m := &MAC{clock: clock, radio: radio, addr: addr, p: p, rng: rng, probes: probe.FromSim(clock)}
 	m.timer = clock.NewTimer(m.onTimer)
 	m.ackFireFn = func(a any) { m.fireAck(a.(*ackOp)) }
 	radio.OnReceive(m.onRadioReceive)
@@ -243,6 +247,7 @@ func (m *MAC) finish(op *txOp, res TxResult) {
 	}
 	m.cur = nil
 	m.timer.Cancel() // no-op unless an ack arrived ahead of its timeout
+	m.probes.Tx(m.addr, op.frame.Dst, res.Sent, res.Acked, res.CCAAttempts)
 	done := op.done
 	op.frame, op.encoded, op.done = nil, nil, nil // done may start the next Send
 	if done != nil {
@@ -285,6 +290,7 @@ func (m *MAC) onRadioReceive(data []byte, info phy.RxInfo) {
 		} else {
 			m.Stats.RxBeacons++
 		}
+		m.probes.Rx(m.addr, f.Src, f.Dst, info.LQI)
 		if m.recv != nil {
 			m.recv(f, info)
 		}

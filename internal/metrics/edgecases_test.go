@@ -68,6 +68,73 @@ func TestBoxplotSingleValue(t *testing.T) {
 	}
 }
 
+func TestWindowMeanEdgeCases(t *testing.T) {
+	// Empty series: no samples can fall in any window.
+	var empty Series
+	if got := empty.WindowMean(0, 10); !math.IsNaN(got) {
+		t.Errorf("WindowMean on empty series = %v, want NaN", got)
+	}
+
+	var s Series
+	s.Add(5, 10)
+	s.Add(6, 20)
+	s.Add(7, 30)
+
+	// Window entirely before the first sample.
+	if got := s.WindowMean(0, 5); !math.IsNaN(got) {
+		t.Errorf("WindowMean before first sample = %v, want NaN", got)
+	}
+	// Degenerate t0 == t1: the half-open window [t, t) is empty even when
+	// a sample sits exactly at t.
+	if got := s.WindowMean(5, 5); !math.IsNaN(got) {
+		t.Errorf("WindowMean over empty window = %v, want NaN", got)
+	}
+	// Window entirely after the last sample.
+	if got := s.WindowMean(8, 100); !math.IsNaN(got) {
+		t.Errorf("WindowMean after last sample = %v, want NaN", got)
+	}
+	// Half-open semantics: [5, 7) includes t=5 and t=6, excludes t=7.
+	if got := s.WindowMean(5, 7); got != 15 {
+		t.Errorf("WindowMean[5,7) = %v, want 15", got)
+	}
+	// Full coverage sanity.
+	if got := s.WindowMean(0, 100); got != 20 {
+		t.Errorf("WindowMean[0,100) = %v, want 20", got)
+	}
+}
+
+func TestTreeDepthsDetachedSubtrees(t *testing.T) {
+	// Root 0. Nodes 1,2 form a proper chain. Nodes 3,4 form a detached
+	// 2-cycle; node 5 hangs off the cycle; node 6 points nowhere (-1).
+	parents := []int{-1, 0, 1, 4, 3, 3, -1}
+	depths := TreeDepths(parents, 0)
+	want := []int{0, 1, 2, -1, -1, -1, -1}
+	for i := range want {
+		if depths[i] != want[i] {
+			t.Errorf("depths[%d] = %d, want %d (full: %v)", i, depths[i], want[i], depths)
+		}
+	}
+	// A self-loop is the tightest detached cycle.
+	depths = TreeDepths([]int{-1, 1}, 0)
+	if depths[1] != -1 {
+		t.Errorf("self-looped node depth = %d, want -1", depths[1])
+	}
+	// A chain hanging off a detached subtree stays detached even when it
+	// is long, and nodes with out-of-range parents are detached too.
+	parents = []int{-1, 99, 1, 2, 3}
+	depths = TreeDepths(parents, 0)
+	for i := 1; i < len(parents); i++ {
+		if depths[i] != -1 {
+			t.Errorf("node %d reached depth %d through an out-of-range parent", i, depths[i])
+		}
+	}
+	// MeanDepth counts the detached nodes separately.
+	mean, connected, detached := MeanDepth([]int{0, 1, 2, -1, -1, -1, -1}, 0)
+	if mean != 1.5 || connected != 2 || detached != 4 {
+		t.Errorf("MeanDepth = %v/%d/%d, want 1.5/2/4", mean, connected, detached)
+	}
+}
+
 func TestBoxplotAllEqual(t *testing.T) {
 	b := NewBoxplot([]float64{1, 1, 1, 1})
 	if b.Min != 1 || b.Q1 != 1 || b.Median != 1 || b.Q3 != 1 || b.Max != 1 || b.Mean != 1 || b.N != 4 {

@@ -14,6 +14,7 @@ import (
 	"fourbit/internal/mac"
 	"fourbit/internal/packet"
 	"fourbit/internal/phy"
+	"fourbit/internal/probe"
 	"fourbit/internal/sim"
 	"fourbit/internal/topo"
 )
@@ -40,13 +41,17 @@ func DefaultEnvConfig(seed uint64, txPowerDBm float64) EnvConfig {
 	}
 }
 
-// Env is the shared simulation substrate: clock, channel, medium.
+// Env is the shared simulation substrate: clock, channel, medium, and the
+// run's probe bus (one subscription point for every layer's typed events;
+// with no sinks attached the bus is inert and the run is byte-identical to
+// an unprobed one).
 type Env struct {
 	Clock  *sim.Simulator
 	Seeds  *sim.SeedSpace
 	Topo   *topo.Topology
 	Chan   *phy.Channel
 	Medium *phy.Medium
+	Probes *probe.Bus
 	Cfg    EnvConfig
 }
 
@@ -54,13 +59,14 @@ type Env struct {
 func NewEnv(t *topo.Topology, cfg EnvConfig) *Env {
 	clock := sim.New(cfg.Seed)
 	seeds := sim.NewSeedSpace(cfg.Seed)
+	bus := probe.NewBus(clock)
 	dist, extra := t.Matrices()
 	ch := phy.NewChannel(dist, extra, cfg.Phy, seeds)
 	med := phy.NewMedium(clock, ch, cfg.Radio, cfg.LQI, seeds)
 	for i := 0; i < med.N(); i++ {
 		med.Radio(i).SetTxPower(cfg.TxPowerDBm)
 	}
-	return &Env{Clock: clock, Seeds: seeds, Topo: t, Chan: ch, Medium: med, Cfg: cfg}
+	return &Env{Clock: clock, Seeds: seeds, Topo: t, Chan: ch, Medium: med, Probes: bus, Cfg: cfg}
 }
 
 // CTPNetwork is a booted network of CTP nodes plus its workload and ledger.
@@ -97,6 +103,7 @@ func BuildCTPKind(env *Env, ctpCfg ctp.Config, estCfg core.Config, kind core.Est
 		if err != nil {
 			panic("node: " + err.Error())
 		}
+		est.SetProbes(env.Probes)
 		cn := ctp.New(env.Clock, m, est, i == env.Topo.Root, ctpCfg,
 			env.Seeds.Stream(fmt.Sprintf("ctp/%d", i)))
 		net.Nodes = append(net.Nodes, cn)
@@ -107,6 +114,7 @@ func BuildCTPKind(env *Env, ctpCfg ctp.Config, estCfg core.Config, kind core.Est
 	root.OnDeliver(func(origin packet.Addr, _ uint8, thl uint8, data []byte) {
 		if seq, err := collect.DecodeReading(data); err == nil {
 			net.Ledger.NoteDelivered(origin, seq, thl)
+			env.Probes.Deliver(origin, seq, thl)
 		}
 	})
 	bootRng := env.Seeds.Stream("boot")
@@ -186,6 +194,7 @@ func BuildLQI(env *Env, cfg lqirouter.Config, wl collect.Workload) *LQINetwork {
 	root.OnDeliver(func(origin packet.Addr, _ uint16, hops uint8, data []byte) {
 		if seq, err := collect.DecodeReading(data); err == nil {
 			net.Ledger.NoteDelivered(origin, seq, hops)
+			env.Probes.Deliver(origin, seq, hops)
 		}
 	})
 	bootRng := env.Seeds.Stream("boot")

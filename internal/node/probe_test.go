@@ -1,0 +1,130 @@
+package node
+
+import (
+	"testing"
+
+	"fourbit/internal/core"
+	"fourbit/internal/ctp"
+	"fourbit/internal/lqirouter"
+	"fourbit/internal/probe"
+	"fourbit/internal/sim"
+	"fourbit/internal/topo"
+)
+
+// The probe bus must observe exactly what the per-node Stats counters
+// measure: the bus is the subscription point that replaces ad-hoc counter
+// scraping, so any event it drops (or double-counts) is a bug. This test
+// runs a real CTP network with a CountSink attached and reconciles every
+// network-wide aggregate against the per-layer counters.
+func TestProbeBusMatchesCountersCTP(t *testing.T) {
+	env := NewEnv(topo.Grid(4, 4, 6), DefaultEnvConfig(7, -5))
+	var counts probe.CountSink
+	env.Probes.Attach(&counts)
+	net := BuildCTP(env, ctp.DefaultConfig(), core.DefaultConfig(), fastWorkload())
+	env.Clock.RunUntil(3 * sim.Minute)
+
+	if counts.DataTx == 0 || counts.BeaconTx == 0 || counts.Delivered == 0 {
+		t.Fatalf("no traffic observed: %+v", counts)
+	}
+	if got, want := counts.DataTx, net.DataTransmissions(); got != want {
+		t.Errorf("bus DataTx = %d, MAC counters = %d", got, want)
+	}
+	if got, want := counts.BeaconTx, net.BeaconTransmissions(); got != want {
+		t.Errorf("bus BeaconTx = %d, MAC counters = %d", got, want)
+	}
+	var ccaFails, parentChanges, beaconsSent uint64
+	for _, m := range net.MACs {
+		ccaFails += m.Stats.CCAFailures
+	}
+	for _, n := range net.Nodes {
+		parentChanges += n.Stats.ParentChanges
+		beaconsSent += n.Stats.BeaconsSent
+	}
+	if counts.CCAGiveUps != ccaFails {
+		t.Errorf("bus CCAGiveUps = %d, MAC counters = %d", counts.CCAGiveUps, ccaFails)
+	}
+	if counts.ParentChanges != parentChanges {
+		t.Errorf("bus ParentChanges = %d, CTP counters = %d", counts.ParentChanges, parentChanges)
+	}
+	if counts.BeaconsSent != beaconsSent {
+		t.Errorf("bus BeaconsSent = %d, CTP counters = %d", counts.BeaconsSent, beaconsSent)
+	}
+	est := core.SumStats(net.Ests)
+	if counts.Inserted != est.Inserted {
+		t.Errorf("bus Inserted = %d, estimator counters = %d", counts.Inserted, est.Inserted)
+	}
+	if counts.Replaced != est.Replaced {
+		t.Errorf("bus Replaced = %d, estimator counters = %d", counts.Replaced, est.Replaced)
+	}
+	if counts.Evicted != est.Replaced {
+		t.Errorf("bus Evicted = %d, want one eviction per replacement (%d)", counts.Evicted, est.Replaced)
+	}
+	if counts.Rejected != est.RejectedFull {
+		t.Errorf("bus Rejected = %d, estimator counters = %d", counts.Rejected, est.RejectedFull)
+	}
+	if got, want := counts.Delivered, net.Ledger.Unique()+net.Ledger.Duplicates(); got != want {
+		t.Errorf("bus Delivered = %d, ledger = %d", got, want)
+	}
+	if got, want := counts.Generated, net.Ledger.Generated(); got != want {
+		t.Errorf("bus Generated = %d, ledger = %d", got, want)
+	}
+}
+
+// The MultiHopLQI stack emits through the same bus (mac tx/ack, router
+// parent changes and beacons, node deliveries, source generation).
+func TestProbeBusMatchesCountersLQI(t *testing.T) {
+	env := NewEnv(topo.Grid(4, 4, 6), DefaultEnvConfig(7, -5))
+	var counts probe.CountSink
+	env.Probes.Attach(&counts)
+	net := BuildLQI(env, lqirouter.DefaultConfig(), fastWorkload())
+	env.Clock.RunUntil(3 * sim.Minute)
+
+	if got, want := counts.DataTx, net.DataTransmissions(); got != want {
+		t.Errorf("bus DataTx = %d, MAC counters = %d", got, want)
+	}
+	if got, want := counts.BeaconTx, net.BeaconTransmissions(); got != want {
+		t.Errorf("bus BeaconTx = %d, MAC counters = %d", got, want)
+	}
+	var parentChanges, beaconsSent uint64
+	for _, n := range net.Nodes {
+		parentChanges += n.Stats.ParentChanges
+		beaconsSent += n.Stats.BeaconsSent
+	}
+	if counts.ParentChanges != parentChanges {
+		t.Errorf("bus ParentChanges = %d, router counters = %d", counts.ParentChanges, parentChanges)
+	}
+	if counts.BeaconsSent != beaconsSent {
+		t.Errorf("bus BeaconsSent = %d, router counters = %d", counts.BeaconsSent, beaconsSent)
+	}
+	if got, want := counts.Delivered, net.Ledger.Unique()+net.Ledger.Duplicates(); got != want {
+		t.Errorf("bus Delivered = %d, ledger = %d", got, want)
+	}
+	if counts.Inserted != 0 {
+		t.Errorf("MultiHopLQI has no link table, yet bus saw %d inserts", counts.Inserted)
+	}
+}
+
+// Attaching sinks must not perturb the simulation: same seed, with and
+// without a (recording) sink, must produce the identical trajectory.
+func TestProbeSinksDoNotPerturbRun(t *testing.T) {
+	run := func(attach bool) (uint64, uint64, []int) {
+		env := NewEnv(topo.Grid(4, 4, 6), DefaultEnvConfig(11, -5))
+		if attach {
+			env.Probes.Attach(&probe.CountSink{})
+			env.Probes.Attach(probe.NewCollector(15 * sim.Second))
+		}
+		net := BuildCTP(env, ctp.DefaultConfig(), core.DefaultConfig(), fastWorkload())
+		env.Clock.RunUntil(2 * sim.Minute)
+		return env.Clock.Events(), net.DataTransmissions(), net.Parents()
+	}
+	ev1, tx1, par1 := run(false)
+	ev2, tx2, par2 := run(true)
+	if ev1 != ev2 || tx1 != tx2 {
+		t.Fatalf("sinks perturbed the run: events %d vs %d, datatx %d vs %d", ev1, ev2, tx1, tx2)
+	}
+	for i := range par1 {
+		if par1[i] != par2[i] {
+			t.Fatalf("sinks perturbed routing: parents %v vs %v", par1, par2)
+		}
+	}
+}

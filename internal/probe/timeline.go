@@ -1,0 +1,257 @@
+package probe
+
+import (
+	"math"
+
+	"fourbit/internal/metrics"
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// Window is one fixed-width slice of a run's probe-event stream: the
+// time-resolved counterparts of the end-of-run aggregates (windowed cost,
+// windowed delivery ratio) plus the routing and table churn that explains
+// them. Counts are network-wide.
+type Window struct {
+	Start, End sim.Time
+
+	Generated uint64 // application packets offered in the window
+	Delivered uint64 // root deliveries (duplicates included)
+	DataTx    uint64 // unicast transmissions on air
+	DataAcked uint64
+	BeaconTx  uint64 // broadcast transmissions on air
+
+	ParentChanges uint64 // next-hop switches (route losses included)
+	RouteLosses   uint64
+
+	// Table composition churn: admission activity inside the window, plus
+	// the network-wide occupancy (live entries across all link tables) at
+	// the instant the window closed.
+	TableInserted  uint64
+	TableReplaced  uint64
+	TableEvicted   uint64
+	TableRejected  uint64
+	TableOccupancy uint64
+}
+
+// Cost is the windowed form of the paper's cost metric: unicast data
+// transmissions per root delivery inside the window. NaN while nothing was
+// delivered (cost is undefined, not zero, when the network moves packets
+// without landing any).
+func (w *Window) Cost() float64 {
+	if w.Delivered == 0 {
+		return math.NaN()
+	}
+	return float64(w.DataTx) / float64(w.Delivered)
+}
+
+// DeliveryRatio is deliveries per offered packet inside the window. It can
+// exceed 1 when a window drains queued backlog. NaN while nothing was
+// offered.
+func (w *Window) DeliveryRatio() float64 {
+	if w.Generated == 0 {
+		return math.NaN()
+	}
+	return float64(w.Delivered) / float64(w.Generated)
+}
+
+// Timeline is the windowed time series of one run.
+type Timeline struct {
+	Window  sim.Time
+	Windows []Window
+}
+
+// CostSeries returns the windowed cost over time (T in minutes, stamped at
+// each window's end; windows with no deliveries carry NaN).
+func (t *Timeline) CostSeries() metrics.Series {
+	var s metrics.Series
+	for i := range t.Windows {
+		w := &t.Windows[i]
+		s.Add(w.End.Seconds()/60, w.Cost())
+	}
+	return s
+}
+
+// DeliverySeries returns the windowed delivery ratio over time (T in
+// minutes, stamped at each window's end).
+func (t *Timeline) DeliverySeries() metrics.Series {
+	var s metrics.Series
+	for i := range t.Windows {
+		w := &t.Windows[i]
+		s.Add(w.End.Seconds()/60, w.DeliveryRatio())
+	}
+	return s
+}
+
+// BaselineCost is the mean windowed cost over the windows that closed in
+// (from, upto] — the pre-event baseline of RecoveryWindows (a window
+// closing exactly at the event is entirely pre-event, so it counts).
+// Windows without deliveries are skipped. ok is false when no window
+// qualifies.
+func (t *Timeline) BaselineCost(from, upto sim.Time) (mean float64, ok bool) {
+	var sum float64
+	var n int
+	for i := range t.Windows {
+		w := &t.Windows[i]
+		if w.End <= from || w.End > upto || w.Delivered == 0 {
+			continue
+		}
+		sum += w.Cost()
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// Recovery is the outcome of RecoveryWindows.
+type Recovery struct {
+	Baseline float64 // mean pre-event windowed cost
+	// Windows is the number of post-event windows until the windowed cost
+	// first returned to within eps of the baseline (1 = the first window
+	// after the event already qualified). When Recovered is false it is the
+	// number of post-event windows observed, all above the band.
+	Windows   int
+	Recovered bool
+}
+
+// RecoveryWindows measures re-convergence after a scripted event at time
+// event: how many windows pass before the windowed cost first returns to
+// baseline*(1+eps) or better, where the baseline is the mean windowed cost
+// over [baselineFrom, event). Undefined-cost windows (nothing delivered)
+// never qualify — a network delivering nothing has not recovered, however
+// few transmissions it wastes. ok is false when no baseline exists or no
+// window closed after the event.
+func (t *Timeline) RecoveryWindows(baselineFrom, event sim.Time, eps float64) (Recovery, bool) {
+	base, ok := t.BaselineCost(baselineFrom, event)
+	if !ok {
+		return Recovery{}, false
+	}
+	rec := Recovery{Baseline: base}
+	band := base * (1 + eps)
+	seen := false
+	for i := range t.Windows {
+		w := &t.Windows[i]
+		if w.Start < event {
+			continue
+		}
+		seen = true
+		rec.Windows++
+		if w.Delivered > 0 && w.Cost() <= band {
+			rec.Recovered = true
+			return rec, true
+		}
+	}
+	return rec, seen
+}
+
+// Collector is the probe sink that accumulates a Timeline. It is a pure
+// observer: windows roll lazily off event timestamps (the simulation clock
+// is monotone), so attaching a collector schedules nothing and cannot
+// perturb the run. Construct with NewCollector, attach to the run's bus,
+// and call Finalize once the run ends.
+type Collector struct {
+	window    sim.Time
+	cur       Window
+	occupancy uint64 // running network-wide table occupancy
+	out       Timeline
+}
+
+// NewCollector builds a timeline collector with the given window width.
+func NewCollector(window sim.Time) *Collector {
+	if window <= 0 {
+		panic("probe: non-positive timeline window")
+	}
+	c := &Collector{window: window}
+	c.cur = Window{Start: 0, End: window}
+	c.out.Window = window
+	return c
+}
+
+// advance closes windows until at fits inside the current one.
+func (c *Collector) advance(at sim.Time) {
+	for at >= c.cur.End {
+		c.close()
+	}
+}
+
+func (c *Collector) close() {
+	c.cur.TableOccupancy = c.occupancy
+	c.out.Windows = append(c.out.Windows, c.cur)
+	start := c.cur.End
+	c.cur = Window{Start: start, End: start + c.window}
+}
+
+// Finalize closes the window in progress (stamped as ending at now) and
+// returns the assembled timeline. The collector must not receive further
+// events afterwards.
+func (c *Collector) Finalize(now sim.Time) *Timeline {
+	c.advance(now)
+	if c.cur.Start < now {
+		c.cur.End = now
+		c.close()
+	}
+	return &c.out
+}
+
+// OnTx implements Sink.
+func (c *Collector) OnTx(ev TxEvent) {
+	c.advance(ev.At)
+	if !ev.Sent {
+		return
+	}
+	if ev.Broadcast() {
+		c.cur.BeaconTx++
+		return
+	}
+	c.cur.DataTx++
+	if ev.Acked {
+		c.cur.DataAcked++
+	}
+}
+
+// OnRx implements Sink.
+func (c *Collector) OnRx(ev RxEvent) { c.advance(ev.At) }
+
+// OnBeacon implements Sink.
+func (c *Collector) OnBeacon(ev BeaconEvent) { c.advance(ev.At) }
+
+// OnParentChange implements Sink.
+func (c *Collector) OnParentChange(ev ParentChangeEvent) {
+	c.advance(ev.At)
+	c.cur.ParentChanges++
+	if ev.To == packet.None {
+		c.cur.RouteLosses++
+	}
+}
+
+// OnTable implements Sink.
+func (c *Collector) OnTable(ev TableEvent) {
+	c.advance(ev.At)
+	switch ev.Op {
+	case OpInsert:
+		c.cur.TableInserted++
+		c.occupancy++
+	case OpReplace:
+		c.cur.TableReplaced++
+		c.occupancy++
+	case OpEvict:
+		c.cur.TableEvicted++
+		c.occupancy--
+	case OpReject:
+		c.cur.TableRejected++
+	}
+}
+
+// OnGenerate implements Sink.
+func (c *Collector) OnGenerate(ev GenerateEvent) {
+	c.advance(ev.At)
+	c.cur.Generated++
+}
+
+// OnDeliver implements Sink.
+func (c *Collector) OnDeliver(ev DeliverEvent) {
+	c.advance(ev.At)
+	c.cur.Delivered++
+}

@@ -1,0 +1,190 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// feed pushes a minimal event stream through a collector: per entry, the
+// events fire at the given time.
+func TestCollectorWindows(t *testing.T) {
+	c := NewCollector(10 * sim.Second)
+	clock := sim.New(1)
+	b := NewBus(clock)
+	b.Attach(c)
+
+	at := func(ts sim.Time, fn func()) { clock.At(ts, fn) }
+	at(1*sim.Second, func() { b.Generate(1, 1, true) })
+	at(2*sim.Second, func() { b.Tx(1, 0, true, true, 1) })
+	at(3*sim.Second, func() { b.Deliver(1, 1, 1) })
+	at(11*sim.Second, func() { b.Tx(2, 0, true, false, 1) })
+	at(12*sim.Second, func() { b.Tx(2, 0, true, true, 2) })
+	at(13*sim.Second, func() { b.Deliver(2, 1, 1) })
+	at(14*sim.Second, func() { b.Tx(2, packet.Broadcast, true, false, 1) })
+	at(15*sim.Second, func() { b.Tx(3, 0, false, false, 8) }) // CSMA give-up: not on air
+	clock.Run()
+
+	tl := c.Finalize(25 * sim.Second)
+	if len(tl.Windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(tl.Windows))
+	}
+	w0, w1, w2 := &tl.Windows[0], &tl.Windows[1], &tl.Windows[2]
+	if w0.Generated != 1 || w0.Delivered != 1 || w0.DataTx != 1 || w0.DataAcked != 1 {
+		t.Errorf("window 0 = %+v", *w0)
+	}
+	if got := w0.Cost(); got != 1 {
+		t.Errorf("window 0 cost = %v, want 1", got)
+	}
+	if got := w0.DeliveryRatio(); got != 1 {
+		t.Errorf("window 0 delivery = %v, want 1", got)
+	}
+	if w1.DataTx != 2 || w1.DataAcked != 1 || w1.Delivered != 1 || w1.BeaconTx != 1 {
+		t.Errorf("window 1 = %+v", *w1)
+	}
+	if got := w1.Cost(); got != 2 {
+		t.Errorf("window 1 cost = %v, want 2", got)
+	}
+	// The give-up never went on air: no DataTx anywhere for node 3.
+	if w1.DataTx+w2.DataTx != 2 {
+		t.Errorf("CSMA give-up counted as a transmission")
+	}
+	// Window 2 closed by Finalize: empty, truncated at now.
+	if w2.Start != 20*sim.Second || w2.End != 25*sim.Second {
+		t.Errorf("window 2 span = [%v, %v)", w2.Start, w2.End)
+	}
+	if !math.IsNaN(w2.Cost()) || !math.IsNaN(w2.DeliveryRatio()) {
+		t.Errorf("empty window: cost/delivery should be NaN, got %v/%v", w2.Cost(), w2.DeliveryRatio())
+	}
+}
+
+func TestCollectorOccupancy(t *testing.T) {
+	c := NewCollector(10 * sim.Second)
+	clock := sim.New(1)
+	b := NewBus(clock)
+	b.Attach(c)
+
+	clock.At(1*sim.Second, func() {
+		b.Table(1, 2, OpInsert)
+		b.Table(1, 3, OpInsert)
+	})
+	clock.At(11*sim.Second, func() {
+		b.Table(1, 2, OpEvict)
+		b.Table(1, 4, OpReplace)
+		b.Table(1, 5, OpReject)
+	})
+	clock.Run()
+	tl := c.Finalize(20 * sim.Second)
+	if len(tl.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(tl.Windows))
+	}
+	if got := tl.Windows[0].TableOccupancy; got != 2 {
+		t.Errorf("window 0 occupancy = %d, want 2", got)
+	}
+	w1 := &tl.Windows[1]
+	if w1.TableEvicted != 1 || w1.TableReplaced != 1 || w1.TableRejected != 1 {
+		t.Errorf("window 1 churn = %+v", *w1)
+	}
+	// Evict+Replace conserves occupancy.
+	if w1.TableOccupancy != 2 {
+		t.Errorf("window 1 occupancy = %d, want 2", w1.TableOccupancy)
+	}
+}
+
+func TestCollectorFinalizeExactBoundary(t *testing.T) {
+	c := NewCollector(10 * sim.Second)
+	clock := sim.New(1)
+	b := NewBus(clock)
+	b.Attach(c)
+	clock.At(5*sim.Second, func() { b.Deliver(1, 1, 1) })
+	clock.Run()
+	// Ending exactly on a window boundary must not append an empty window.
+	tl := c.Finalize(10 * sim.Second)
+	if len(tl.Windows) != 1 {
+		t.Fatalf("windows = %d, want 1", len(tl.Windows))
+	}
+	if tl.Windows[0].End != 10*sim.Second {
+		t.Errorf("window end = %v", tl.Windows[0].End)
+	}
+}
+
+// makeTimeline builds a timeline with the given per-window (datatx,
+// delivered) pairs over 1-minute windows.
+func makeTimeline(pairs [][2]uint64) *Timeline {
+	tl := &Timeline{Window: sim.Minute}
+	for i, p := range pairs {
+		tl.Windows = append(tl.Windows, Window{
+			Start: sim.Time(i) * sim.Minute, End: sim.Time(i+1) * sim.Minute,
+			DataTx: p[0], Delivered: p[1], Generated: p[1],
+		})
+	}
+	return tl
+}
+
+func TestBaselineCost(t *testing.T) {
+	tl := makeTimeline([][2]uint64{{10, 10}, {20, 10}, {30, 10}, {100, 10}})
+	// Windows end at minutes 1..4; baseline over (0, 3] window-ends picks
+	// windows 0-2: costs 1, 2, 3.
+	base, ok := tl.BaselineCost(0, 3*sim.Minute)
+	if !ok || base != 2 {
+		t.Fatalf("baseline = %v/%v, want 2/true", base, ok)
+	}
+	// A window delivering nothing is skipped, not counted as zero.
+	tl.Windows[1].Delivered = 0
+	base, ok = tl.BaselineCost(0, 3*sim.Minute)
+	if !ok || base != 2 {
+		t.Fatalf("baseline with dead window = %v/%v, want 2/true", base, ok)
+	}
+	if _, ok := tl.BaselineCost(10*sim.Minute, 20*sim.Minute); ok {
+		t.Error("baseline over empty range reported ok")
+	}
+}
+
+func TestRecoveryWindows(t *testing.T) {
+	// Baseline cost 1; event at minute 2; post-event costs 5, 5, 1.1, ...
+	tl := makeTimeline([][2]uint64{{10, 10}, {10, 10}, {50, 10}, {50, 10}, {11, 10}, {10, 10}})
+	rec, ok := tl.RecoveryWindows(0, 2*sim.Minute, 0.25)
+	if !ok {
+		t.Fatal("no recovery measurement")
+	}
+	if rec.Baseline != 1 {
+		t.Errorf("baseline = %v, want 1", rec.Baseline)
+	}
+	if !rec.Recovered || rec.Windows != 3 {
+		t.Errorf("recovery = %+v, want recovered in 3", rec)
+	}
+
+	// Never recovering: all post-event windows above the band.
+	tl2 := makeTimeline([][2]uint64{{10, 10}, {10, 10}, {50, 10}, {50, 10}})
+	rec, ok = tl2.RecoveryWindows(0, 2*sim.Minute, 0.25)
+	if !ok || rec.Recovered || rec.Windows != 2 {
+		t.Errorf("non-recovery = %+v/%v, want 2 windows not recovered", rec, ok)
+	}
+
+	// Windows delivering nothing never qualify, even though their cost is
+	// undefined rather than high.
+	tl3 := makeTimeline([][2]uint64{{10, 10}, {10, 10}, {50, 0}, {10, 10}})
+	rec, ok = tl3.RecoveryWindows(0, 2*sim.Minute, 0.25)
+	if !ok || !rec.Recovered || rec.Windows != 2 {
+		t.Errorf("dead-window recovery = %+v/%v, want recovered in 2", rec, ok)
+	}
+
+	// No baseline before the event.
+	if _, ok := tl.RecoveryWindows(0, 0, 0.25); ok {
+		t.Error("recovery without baseline reported ok")
+	}
+}
+
+func TestSeriesExports(t *testing.T) {
+	tl := makeTimeline([][2]uint64{{10, 10}, {20, 10}})
+	cost := tl.CostSeries()
+	if cost.Len() != 2 || cost.T[0] != 1 || cost.V[1] != 2 {
+		t.Errorf("cost series = %+v", cost)
+	}
+	del := tl.DeliverySeries()
+	if del.Len() != 2 || del.V[0] != 1 {
+		t.Errorf("delivery series = %+v", del)
+	}
+}

@@ -5,7 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+
+	"fourbit/internal/experiment"
+	"fourbit/internal/probe"
 )
 
 // Structured result export. CSV carries one row per cell (axis columns
@@ -181,6 +185,172 @@ func (r *SweepResult) WriteJSONL(w io.Writer) error {
 				EstReplaced: run.EstReplaced,
 				EstRejected: run.EstRejected,
 				EstLottery:  run.EstLotteryWins,
+			})
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Timeline export. One CSV row (or one JSONL windows element) per recorded
+// window, labeled by run, so replicated scenarios and estimator comparisons
+// export into a single long-format file gnuplot/pandas can facet directly.
+// ---------------------------------------------------------------------------
+
+// TimelineRow is one run's timeline, labeled for export.
+type TimelineRow struct {
+	Label    string // what distinguishes the run (scenario name, estimator kind)
+	Seed     uint64
+	Timeline *probe.Timeline
+}
+
+// TimelineRows collects the recorded timelines of a replicated scenario
+// result (empty when the spec requested none).
+func TimelineRows(name string, rep *experiment.Replicated) []TimelineRow {
+	var rows []TimelineRow
+	for i, run := range rep.Runs {
+		if run.Timeline == nil {
+			continue
+		}
+		label := name
+		if label == "" {
+			label = rep.Protocol.String()
+		}
+		rows = append(rows, TimelineRow{Label: label, Seed: rep.Seeds[i], Timeline: run.Timeline})
+	}
+	return rows
+}
+
+// TimelineRows collects the agility figure's per-estimator timelines.
+func (r *AgilityResult) TimelineRows() []TimelineRow {
+	var rows []TimelineRow
+	for _, run := range r.Runs {
+		if run.Timeline == nil {
+			continue
+		}
+		rows = append(rows, TimelineRow{Label: string(run.Estimator), Seed: r.Seed, Timeline: run.Timeline})
+	}
+	return rows
+}
+
+// timelineCSVHeader is the window-row schema. Ratios that are undefined in
+// a window (nothing delivered / nothing offered) export as empty cells,
+// not NaN, so spreadsheets parse the column as numeric.
+var timelineCSVHeader = []string{
+	"label", "seed", "window", "start_s", "end_s",
+	"generated", "delivered", "delivery_ratio",
+	"datatx", "data_acked", "beacontx", "cost",
+	"parent_changes", "route_losses",
+	"tbl_inserted", "tbl_replaced", "tbl_evicted", "tbl_rejected", "tbl_occupancy",
+}
+
+func fmtRatio(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmtF(v)
+}
+
+// WriteTimelineCSV emits the labeled timelines as one row per window.
+func WriteTimelineCSV(w io.Writer, rows []TimelineRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(timelineCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for i := range r.Timeline.Windows {
+			win := &r.Timeline.Windows[i]
+			rec := []string{
+				r.Label,
+				strconv.FormatUint(r.Seed, 10),
+				strconv.Itoa(i),
+				strconv.FormatFloat(win.Start.Seconds(), 'f', 1, 64),
+				strconv.FormatFloat(win.End.Seconds(), 'f', 1, 64),
+				strconv.FormatUint(win.Generated, 10),
+				strconv.FormatUint(win.Delivered, 10),
+				fmtRatio(win.DeliveryRatio()),
+				strconv.FormatUint(win.DataTx, 10),
+				strconv.FormatUint(win.DataAcked, 10),
+				strconv.FormatUint(win.BeaconTx, 10),
+				fmtRatio(win.Cost()),
+				strconv.FormatUint(win.ParentChanges, 10),
+				strconv.FormatUint(win.RouteLosses, 10),
+				strconv.FormatUint(win.TableInserted, 10),
+				strconv.FormatUint(win.TableReplaced, 10),
+				strconv.FormatUint(win.TableEvicted, 10),
+				strconv.FormatUint(win.TableRejected, 10),
+				strconv.FormatUint(win.TableOccupancy, 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonTimeline is the JSONL row schema: one object per run, windows inline.
+type jsonTimeline struct {
+	Label   string       `json:"label"`
+	Seed    uint64       `json:"seed"`
+	WindowS float64      `json:"window_s"`
+	Windows []jsonWindow `json:"windows"`
+}
+
+type jsonWindow struct {
+	StartS        float64  `json:"start_s"`
+	EndS          float64  `json:"end_s"`
+	Generated     uint64   `json:"generated"`
+	Delivered     uint64   `json:"delivered"`
+	Delivery      *float64 `json:"delivery,omitempty"` // absent when undefined
+	DataTx        uint64   `json:"datatx"`
+	DataAcked     uint64   `json:"data_acked"`
+	BeaconTx      uint64   `json:"beacontx"`
+	Cost          *float64 `json:"cost,omitempty"` // absent when undefined
+	ParentChanges uint64   `json:"parent_changes"`
+	RouteLosses   uint64   `json:"route_losses"`
+	TblInserted   uint64   `json:"tbl_inserted"`
+	TblReplaced   uint64   `json:"tbl_replaced"`
+	TblEvicted    uint64   `json:"tbl_evicted"`
+	TblRejected   uint64   `json:"tbl_rejected"`
+	TblOccupancy  uint64   `json:"tbl_occupancy"`
+}
+
+func ratioPtr(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// WriteTimelineJSONL emits one JSON object per labeled timeline.
+func WriteTimelineJSONL(w io.Writer, rows []TimelineRow) error {
+	enc := json.NewEncoder(w)
+	for _, r := range rows {
+		row := jsonTimeline{Label: r.Label, Seed: r.Seed, WindowS: r.Timeline.Window.Seconds()}
+		for i := range r.Timeline.Windows {
+			win := &r.Timeline.Windows[i]
+			row.Windows = append(row.Windows, jsonWindow{
+				StartS:        win.Start.Seconds(),
+				EndS:          win.End.Seconds(),
+				Generated:     win.Generated,
+				Delivered:     win.Delivered,
+				Delivery:      ratioPtr(win.DeliveryRatio()),
+				DataTx:        win.DataTx,
+				DataAcked:     win.DataAcked,
+				BeaconTx:      win.BeaconTx,
+				Cost:          ratioPtr(win.Cost()),
+				ParentChanges: win.ParentChanges,
+				RouteLosses:   win.RouteLosses,
+				TblInserted:   win.TableInserted,
+				TblReplaced:   win.TableReplaced,
+				TblEvicted:    win.TableEvicted,
+				TblRejected:   win.TableRejected,
+				TblOccupancy:  win.TableOccupancy,
 			})
 		}
 		if err := enc.Encode(row); err != nil {

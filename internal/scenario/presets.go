@@ -1,5 +1,7 @@
 package scenario
 
+import "fourbit/internal/experiment"
+
 // NamedSpec is a ready-to-run scenario preset for the CLI.
 type NamedSpec struct {
 	Name string
@@ -47,18 +49,20 @@ func Presets() []NamedSpec {
 		},
 		{
 			Name: "interference-onset",
-			Desc: "uniform field; minutes 10-18 an interferer blankets half the nodes (LQI-invisible losses)",
+			Desc: "uniform field; minutes 10-18 an interferer blankets half the nodes (LQI-invisible losses); 30 s timeline + recovery-time",
 			Spec: Spec{
-				Name:     "interference-onset",
-				Protocol: "4B",
-				Topology: TopoSpec{Kind: "uniform", N: 60, WidthM: 50, HeightM: 30, ClutterDB: 4},
-				Seed:     1,
+				Name:      "interference-onset",
+				Protocol:  "4B",
+				Topology:  TopoSpec{Kind: "uniform", N: 60, WidthM: 50, HeightM: 30, ClutterDB: 4},
+				Seed:      1,
+				TimelineS: AgilityWindowS,
 				Dynamics: []Event{{
 					Kind: "interference", AtMin: 10, UntilMin: 18,
 					Nodes: evens(60), AmpDB: 25, MeanOnMS: 800, MeanOffS: 3,
 				}},
 			},
 		},
+		deathRecoveryPreset(),
 		{
 			Name: "node-churn",
 			Desc: "clustered network; a third of the nodes die at minute 8 and reboot at minute 16",
@@ -85,6 +89,24 @@ func Presets() []NamedSpec {
 				}},
 			},
 		},
+	}
+}
+
+// deathRecoveryPreset derives the node-death-recovery preset from the
+// agility figure's own specs, so preset conditions (grid, power, dead
+// nodes, timeline window) track agility.go instead of restating them. The
+// preset is the figure's four-bit run; `fourbitsim timeline` runs all four
+// estimator kinds side by side.
+func deathRecoveryPreset() NamedSpec {
+	s := AgilitySpecs(1, 0)[0]
+	if s.Estimator != string(experiment.EstCompareKinds[0]) {
+		panic("scenario: agility specs no longer lead with the four-bit kind")
+	}
+	s.Name = "node-death-recovery"
+	return NamedSpec{
+		Name: "node-death-recovery",
+		Desc: "comparison grid; the root-adjacent relays die at minute 10; 30 s timeline + recovery-time",
+		Spec: s,
 	}
 }
 

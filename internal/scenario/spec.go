@@ -61,6 +61,15 @@ type Spec struct {
 	// Dynamics are scripted mid-run events: node death/reboot, power
 	// steps, interference onset, link bursts.
 	Dynamics []Event `json:",omitempty"`
+
+	// TimelineS, when positive, records a windowed timeline (cost,
+	// delivery ratio, parent churn, table composition per window of that
+	// many seconds) through the run's probe bus. Timelines are pure
+	// observation: the run's trajectory and headline metrics are identical
+	// with or without one. They are what makes the Dynamics above
+	// measurable — see the recovery-time metric (probe.RecoveryWindows)
+	// and the timeline exports.
+	TimelineS float64 `json:",omitempty"`
 }
 
 // TrafficSpec overrides the offered collection workload.
@@ -175,6 +184,9 @@ func (s *Spec) Validate() error {
 	if s.DurationMin < 0 || s.WarmupMin < 0 || s.SampleS < 0 {
 		return fmt.Errorf("scenario %q: negative duration", s.Name)
 	}
+	if s.TimelineS < 0 {
+		return fmt.Errorf("scenario %q: negative timeline window", s.Name)
+	}
 	if s.Replicates < 0 {
 		return fmt.Errorf("scenario %q: negative replicates", s.Name)
 	}
@@ -276,6 +288,9 @@ func (s *Spec) RunConfig() (experiment.RunConfig, error) {
 			}
 		}
 		rc.EnvMutate = compileDynamics(s.Dynamics)
+	}
+	if s.TimelineS > 0 {
+		rc.TimelineWindow = sim.FromSeconds(s.TimelineS)
 	}
 	return rc, nil
 }

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fourbit/internal/probe"
+	"fourbit/internal/sim"
+)
+
+func exportFixture() []TimelineRow {
+	tl := &probe.Timeline{Window: 30 * sim.Second, Windows: []probe.Window{
+		{Start: 0, End: 30 * sim.Second, Generated: 10, Delivered: 8, DataTx: 24, DataAcked: 20,
+			BeaconTx: 5, ParentChanges: 2, TableInserted: 3, TableOccupancy: 3},
+		{Start: 30 * sim.Second, End: 60 * sim.Second}, // empty: ratios undefined
+	}}
+	return []TimelineRow{{Label: "agility-4bit", Seed: 7, Timeline: tl}}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteTimelineCSV(&b, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&b).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(rows))
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	first := rows[1]
+	if first[col["label"]] != "agility-4bit" || first[col["seed"]] != "7" || first[col["window"]] != "0" {
+		t.Errorf("row identity: %v", first)
+	}
+	if first[col["cost"]] != "3.0000" || first[col["delivery_ratio"]] != "0.8000" {
+		t.Errorf("derived columns: cost=%q delivery=%q", first[col["cost"]], first[col["delivery_ratio"]])
+	}
+	// Undefined ratios export as empty cells, never "NaN".
+	second := rows[2]
+	if second[col["cost"]] != "" || second[col["delivery_ratio"]] != "" {
+		t.Errorf("undefined ratios: cost=%q delivery=%q, want empty", second[col["cost"]], second[col["delivery_ratio"]])
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Error("NaN leaked into CSV")
+	}
+}
+
+func TestWriteTimelineJSONL(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteTimelineJSONL(&b, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("lines = %d, want 1", len(lines))
+	}
+	var row struct {
+		Label   string           `json:"label"`
+		Seed    uint64           `json:"seed"`
+		WindowS float64          `json:"window_s"`
+		Windows []map[string]any `json:"windows"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Label != "agility-4bit" || row.Seed != 7 || row.WindowS != 30 || len(row.Windows) != 2 {
+		t.Fatalf("row = %+v", row)
+	}
+	if _, ok := row.Windows[0]["cost"]; !ok {
+		t.Error("first window lost its cost")
+	}
+	// Undefined ratios are omitted, not emitted as null/NaN.
+	if _, ok := row.Windows[1]["cost"]; ok {
+		t.Error("undefined cost emitted")
+	}
+}
+
+// Scenario-level plumbing: a spec with TimelineS produces timelines that
+// TimelineRows can export, one per replicate seed.
+func TestScenarioTimelineRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	s := Spec{
+		Name:        "tl",
+		Topology:    TopoSpec{Kind: "grid", Rows: 3, Cols: 3},
+		Seed:        1,
+		DurationMin: 2,
+		Replicates:  2,
+		TimelineS:   30,
+	}
+	rep, err := s.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := TimelineRows(s.Name, rep)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want one per replicate", len(rows))
+	}
+	for _, r := range rows {
+		if r.Label != "tl" || r.Seed == 0 || len(r.Timeline.Windows) != 4 {
+			t.Errorf("row = %+v (windows %d)", r, len(r.Timeline.Windows))
+		}
+	}
+}

@@ -20,6 +20,7 @@ type Simulator struct {
 	events  uint64 // total events dispatched, for reporting
 	rng     *SeedSpace
 	free    []*Timer // recycled no-handle Timers
+	probes  any      // opaque probe-bus slot; see SetProbes
 }
 
 // New returns a Simulator whose random streams derive from seed.
@@ -37,6 +38,16 @@ func (s *Simulator) Events() uint64 { return s.events }
 // same name on simulators built from the same seed produce identical
 // sequences regardless of how many other streams exist.
 func (s *Simulator) Stream(name string) *Rand { return s.rng.Stream(name) }
+
+// SetProbes installs the run's probe bus on the simulator, where every
+// layer built over this clock can find it (internal/probe.FromSim). The
+// slot is deliberately untyped: sim is the bottom of the import graph, so
+// it cannot name the concrete bus type internal/probe owns.
+func (s *Simulator) SetProbes(v any) { s.probes = v }
+
+// Probes returns the value installed by SetProbes (nil when the run
+// carries no probe bus).
+func (s *Simulator) Probes() any { return s.probes }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the past
 // (before Now) panics: it always indicates a protocol-logic bug. The

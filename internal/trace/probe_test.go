@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"fourbit/internal/collect"
+	"fourbit/internal/core"
+	"fourbit/internal/ctp"
+	"fourbit/internal/node"
+	"fourbit/internal/sim"
+	"fourbit/internal/topo"
+)
+
+func TestTraceLinkIndex(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if i == j {
+				continue
+			}
+			tr.Links = append(tr.Links, LinkTrace{From: i, To: j})
+		}
+	}
+	// Every directed pair resolves to its own series (the regression the
+	// index must preserve: same answers as the linear scan).
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			lt := tr.Link(i, j)
+			if i == j {
+				if lt != nil {
+					t.Fatalf("self link (%d,%d) resolved", i, j)
+				}
+				continue
+			}
+			if lt == nil || lt.From != i || lt.To != j {
+				t.Fatalf("Link(%d,%d) = %+v", i, j, lt)
+			}
+		}
+	}
+	if tr.Link(20, 0) != nil || tr.Link(-1, 3) != nil {
+		t.Fatal("unknown link resolved")
+	}
+	// The returned pointer aliases the stored series.
+	tr.Link(1, 2).Samples = append(tr.Link(1, 2).Samples, Sample{At: sim.Second, Sent: 1})
+	if got := len(tr.Link(1, 2).Samples); got != 1 {
+		t.Fatalf("mutation through Link lost: %d samples", got)
+	}
+	// Appending after the index was built must not serve stale answers.
+	tr.Links = append(tr.Links, LinkTrace{From: 42, To: 7})
+	if lt := tr.Link(42, 7); lt == nil || lt.From != 42 {
+		t.Fatal("appended link not found after index build")
+	}
+}
+
+// ctpTraceRun runs a small CTP collection network for two simulated
+// minutes with the given recorder factory attached before boot, and
+// returns the finalized trace.
+func ctpTraceRun(t *testing.T, mk func(env *node.Env) *Recorder) *Trace {
+	t.Helper()
+	env := node.NewEnv(topo.Grid(3, 3, 8), node.DefaultEnvConfig(21, -5))
+	rec := mk(env)
+	wl := collect.DefaultWorkload()
+	wl.Period = 2 * sim.Second
+	node.BuildCTP(env, ctp.DefaultConfig(), core.DefaultConfig(), wl)
+	env.Clock.RunUntil(2 * sim.Minute)
+	return rec.Finalize()
+}
+
+// A probe-fed recorder must produce the identical trace to a medium-tapped
+// one: for broadcast traffic the bus re-emits exactly what the medium
+// delivers, and neither recorder perturbs the run.
+func TestRecorderProbeMatchesMediumTap(t *testing.T) {
+	window := 10 * sim.Second
+	tapped := ctpTraceRun(t, func(env *node.Env) *Recorder {
+		return NewRecorder(env.Clock, env.Medium, window, "tap")
+	})
+	probed := ctpTraceRun(t, func(env *node.Env) *Recorder {
+		return NewRecorderProbe(env.Clock, env.Probes, env.Medium.N(), window, "probe")
+	})
+
+	if len(tapped.Links) == 0 {
+		t.Fatal("medium-tapped recorder saw no links")
+	}
+	if len(tapped.Links) != len(probed.Links) {
+		t.Fatalf("link counts differ: tap %d, probe %d", len(tapped.Links), len(probed.Links))
+	}
+	for i := range tapped.Links {
+		want := &tapped.Links[i]
+		got := probed.Link(want.From, want.To)
+		if got == nil {
+			t.Fatalf("probe recorder missing link %d->%d", want.From, want.To)
+		}
+		if len(got.Samples) != len(want.Samples) {
+			t.Fatalf("link %d->%d: %d vs %d samples", want.From, want.To, len(got.Samples), len(want.Samples))
+		}
+		for k := range want.Samples {
+			if got.Samples[k] != want.Samples[k] {
+				t.Fatalf("link %d->%d sample %d: %+v vs %+v",
+					want.From, want.To, k, got.Samples[k], want.Samples[k])
+			}
+		}
+	}
+}
+
+// The probe-fed recorder composes with other sinks on the same bus.
+func TestRecorderProbeSharesBus(t *testing.T) {
+	env := node.NewEnv(topo.Grid(3, 3, 8), node.DefaultEnvConfig(22, -5))
+	recs := make([]*Recorder, 2)
+	for i := range recs {
+		recs[i] = NewRecorderProbe(env.Clock, env.Probes, env.Medium.N(), 10*sim.Second, fmt.Sprintf("r%d", i))
+	}
+	wl := collect.DefaultWorkload()
+	wl.Period = 2 * sim.Second
+	node.BuildCTP(env, ctp.DefaultConfig(), core.DefaultConfig(), wl)
+	env.Clock.RunUntil(time30s)
+	a, b := recs[0].Finalize(), recs[1].Finalize()
+	if len(a.Links) == 0 || len(a.Links) != len(b.Links) {
+		t.Fatalf("sibling recorders disagree: %d vs %d links", len(a.Links), len(b.Links))
+	}
+}
+
+const time30s = 30 * sim.Second

@@ -14,6 +14,7 @@ import (
 
 	"fourbit/internal/packet"
 	"fourbit/internal/phy"
+	"fourbit/internal/probe"
 	"fourbit/internal/sim"
 )
 
@@ -45,14 +46,29 @@ type Trace struct {
 	Name   string
 	Window sim.Time
 	Links  []LinkTrace
+
+	// index maps (from,to) to a position in Links. It is built lazily on
+	// the first Link call (traces arrive both from recorders and from
+	// ReadJSON, so construction cannot own it) and rebuilt if Links was
+	// meanwhile appended to; indexed remembers how many entries it covers.
+	index   map[linkKey]int
+	indexed int
 }
 
 // Link returns the series for the directed link (from, to), or nil.
+// Lookups are O(1) after the first call builds the index — replayed
+// experiments resolve every directed pair of a topology, which made the
+// previous linear scan O(links²) per setup.
 func (t *Trace) Link(from, to int) *LinkTrace {
-	for i := range t.Links {
-		if t.Links[i].From == from && t.Links[i].To == to {
-			return &t.Links[i]
+	if t.index == nil || t.indexed != len(t.Links) {
+		t.index = make(map[linkKey]int, len(t.Links))
+		for i := range t.Links {
+			t.index[linkKey{t.Links[i].From, t.Links[i].To}] = i
 		}
+		t.indexed = len(t.Links)
+	}
+	if i, ok := t.index[linkKey{from, to}]; ok {
+		return &t.Links[i]
 	}
 	return nil
 }
@@ -118,14 +134,55 @@ func NewRecorder(clock *sim.Simulator, m *phy.Medium, window sim.Time, name stri
 			if err != nil || f.Dst != packet.Broadcast {
 				return
 			}
-			r.note(int(f.Src), to, info)
+			r.note(int(f.Src), to, info.LQI)
 		})
 	}
 	clock.Every(window, window, r.roll)
 	return r
 }
 
-func (r *Recorder) note(from, to int, info phy.RxInfo) {
+// NewRecorderProbe attaches a recorder to the run's probe bus instead of
+// tapping the medium directly: broadcast transmissions arrive as TxEvents,
+// receptions as RxEvents. For broadcast (beacon) traffic the two taps see
+// the same frames — the medium delivers every decodable broadcast to every
+// in-range MAC, which is exactly what the bus re-emits — so a probe-fed
+// recorder produces the identical Trace (pinned by test). n is the number
+// of nodes (transmitter slots).
+func NewRecorderProbe(clock *sim.Simulator, bus *probe.Bus, n int, window sim.Time, name string) *Recorder {
+	r := &Recorder{
+		clock:  clock,
+		window: window,
+		name:   name,
+		links:  make(map[linkKey]*linkAcc),
+		sent:   make([]int, n),
+	}
+	bus.Attach(recorderSink{r: r})
+	clock.Every(window, window, r.roll)
+	return r
+}
+
+// recorderSink adapts a Recorder to the probe bus (BaseSink supplies the
+// no-ops for the events a trace does not consume).
+type recorderSink struct {
+	probe.BaseSink
+	r *Recorder
+}
+
+// OnTx implements probe.Sink: broadcast frames on air count as sent.
+func (s recorderSink) OnTx(ev probe.TxEvent) {
+	if ev.Sent && ev.Broadcast() {
+		s.r.sent[ev.Node]++
+	}
+}
+
+// OnRx implements probe.Sink: broadcast receptions count toward the link.
+func (s recorderSink) OnRx(ev probe.RxEvent) {
+	if ev.Dest == packet.Broadcast {
+		s.r.note(int(ev.Src), int(ev.Node), ev.LQI)
+	}
+}
+
+func (r *Recorder) note(from, to int, lqi uint8) {
 	k := linkKey{from, to}
 	acc := r.links[k]
 	if acc == nil {
@@ -133,7 +190,7 @@ func (r *Recorder) note(from, to int, info phy.RxInfo) {
 		r.links[k] = acc
 	}
 	acc.rcvd++
-	acc.lqiSum += float64(info.LQI)
+	acc.lqiSum += float64(lqi)
 }
 
 // roll closes the current window into samples on every observed link.
