@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet tier1 bench bench-smoke docs lint golden golden-check race-probe clean
+.PHONY: all build test vet tier1 bench bench-smoke bench-guard docs lint golden golden-check race-probe clean
 
 all: build
 
@@ -72,6 +72,13 @@ bench:
 # bench-smoke: just the one-iteration bench pass, no snapshot.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+
+# bench-guard enforces the committed allocation budgets
+# (scripts/alloc_budget.txt): CI fails when a budgeted benchmark's
+# allocs/op regresses past its ceiling. ns/op is too machine-dependent to
+# gate on; allocation counts are exact, so they make the durable ratchet.
+bench-guard:
+	./scripts/bench_guard.sh
 
 # BENCH_*.json snapshots are committed perf history — clean leaves them.
 clean:

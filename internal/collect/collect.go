@@ -35,12 +35,27 @@ func DefaultWorkload() Workload {
 
 // EncodeReading builds an application payload carrying seq, padded to size.
 func EncodeReading(seq uint32, size int) []byte {
+	return AppendReading(nil, seq, size)
+}
+
+// AppendReading appends an application payload carrying seq, padded to
+// size, onto dst — the allocation-free encoder for sources reusing one
+// buffer per packet (the protocols copy accepted payloads).
+func AppendReading(dst []byte, seq uint32, size int) []byte {
 	if size < 4 {
 		size = 4
 	}
-	b := make([]byte, size)
-	binary.BigEndian.PutUint32(b, seq)
-	return b
+	start := len(dst)
+	if cap(dst)-start >= size {
+		dst = dst[:start+size]
+		for i := start; i < start+size; i++ {
+			dst[i] = 0
+		}
+	} else {
+		dst = append(dst, make([]byte, size)...)
+	}
+	binary.BigEndian.PutUint32(dst[start:], seq)
+	return dst
 }
 
 // ErrShortReading reports an undecodable application payload.
@@ -65,6 +80,8 @@ type Source struct {
 	ledger *Ledger
 	probes *probe.Bus
 	seq    uint32
+	timer  *sim.Timer // one persistent timer, re-armed per packet
+	buf    []byte     // reusable reading buffer (protocols copy on accept)
 
 	Generated uint64
 	Refused   uint64 // packets the protocol would not accept (queue full)
@@ -75,28 +92,31 @@ type Source struct {
 // probe.GenerateEvent into the bus installed on clock, if any.
 func NewSource(clock *sim.Simulator, origin packet.Addr, wl Workload, rng *sim.Rand,
 	send func([]byte) bool, ledger *Ledger) *Source {
-	return &Source{clock: clock, wl: wl, rng: rng, send: send, origin: origin,
+	src := &Source{clock: clock, wl: wl, rng: rng, send: send, origin: origin,
 		ledger: ledger, probes: probe.FromSim(clock)}
+	src.timer = clock.NewTimer(src.fire)
+	return src
 }
 
 // Start schedules the first packet at boot + U[0, Period].
 func (s *Source) Start(boot sim.Time) {
 	first := boot + s.rng.UniformTime(0, s.wl.Period)
-	s.clock.At(first, s.fire)
+	s.timer.Reschedule(first)
 }
 
 func (s *Source) fire() {
 	s.seq++
 	s.Generated++
 	s.ledger.NoteGenerated(s.origin, s.seq)
-	accepted := s.send(EncodeReading(s.seq, s.wl.PayloadBytes))
+	s.buf = AppendReading(s.buf[:0], s.seq, s.wl.PayloadBytes)
+	accepted := s.send(s.buf)
 	if !accepted {
 		s.Refused++
 	}
 	s.probes.Generate(s.origin, s.seq, accepted)
 	j := s.wl.JitterFrac
 	gap := s.wl.Period.Scale(s.rng.Uniform(1-j, 1+j))
-	s.clock.After(gap, s.fire)
+	s.timer.RescheduleAfter(gap)
 }
 
 // Ledger is the sink-side accounting of unique deliveries.

@@ -56,8 +56,9 @@ type Estimator struct {
 	cmp  Comparer
 	rng  *sim.Rand
 
-	beaconSeq uint16
-	footerIdx int
+	beaconSeq     uint16
+	footerIdx     int
+	beaconScratch packet.LEFrame // MakeBeacon's reusable envelope
 
 	Stats Stats
 }
@@ -98,7 +99,8 @@ func (est *Estimator) OnOverhear(src packet.Addr, meta RxMeta, now sim.Time) {}
 // subset of the table's inbound qualities as the footer.
 func (est *Estimator) MakeBeacon(netPayload []byte) *packet.LEFrame {
 	est.beaconSeq++
-	return buildBeacon(est.table, est.beaconSeq, &est.footerIdx, est.cfg.FooterEntries, netPayload)
+	buildBeacon(&est.beaconScratch, est.table, est.beaconSeq, &est.footerIdx, est.cfg.FooterEntries, netPayload)
+	return &est.beaconScratch
 }
 
 // OnBeacon processes a received routing beacon (already stripped of its MAC
@@ -141,7 +143,7 @@ func (est *Estimator) admit(src packet.Addr, le *packet.LEFrame, meta RxMeta) *E
 	}
 	// Standard policy first: displace a demonstrably useless entry. This
 	// keeps squatters from poisoning the white/compare path below.
-	if victim, ok := evictWorst(est.table, est.effectiveETX, est.cfg.EvictETX); ok {
+	if victim, ok := evictWorst(est.table, est.cfg.MaxETX, est.cfg.EvictETX); ok {
 		est.Stats.Replaced++
 		est.emitReplace(victim, src)
 		return mustInsert(est.table, src)
@@ -150,7 +152,7 @@ func (est *Estimator) admit(src packet.Addr, le *packet.LEFrame, meta RxMeta) *E
 		est.Stats.CompareAsked++
 		if est.cmp.CompareBit(src, le.NetPayload) {
 			est.Stats.CompareTrue++
-			if victim, ok := evictForReplacement(est.table, est.effectiveETX, est.rng); ok {
+			if victim, ok := evictForReplacement(est.table, est.cfg.MaxETX, est.rng); ok {
 				est.Stats.Replaced++
 				est.emitReplace(victim, src)
 				return mustInsert(est.table, src)
@@ -163,7 +165,7 @@ func (est *Estimator) admit(src packet.Addr, le *packet.LEFrame, meta RxMeta) *E
 	// rarely-heard phantom neighbors (one lucky fade per hour) would
 	// erode real links in sparse low-power networks.
 	if est.rng.Bernoulli(est.cfg.LotteryProb) {
-		if victim, ok := evictForReplacement(est.table, est.effectiveETX, est.rng); ok {
+		if victim, ok := evictForReplacement(est.table, est.cfg.MaxETX, est.rng); ok {
 			est.Stats.Replaced++
 			est.Stats.LotteryWins++
 			est.emitReplace(victim, src)
@@ -173,19 +175,6 @@ func (est *Estimator) admit(src packet.Addr, le *packet.LEFrame, meta RxMeta) *E
 	est.Stats.RejectedFull++
 	est.probes.Table(est.self, src, probe.OpReject)
 	return nil
-}
-
-// effectiveETX is the eviction-policy view of an entry: its estimate if it
-// has one, MaxETX if it has had enough beacon windows to produce one and
-// has not (a squatter), and 0 (not evictable) while still warming up.
-func (est *Estimator) effectiveETX(e *Entry) float64 {
-	if e.etxInit {
-		return e.etx
-	}
-	if e.windows >= matureWindows {
-		return est.cfg.MaxETX
-	}
-	return 0
 }
 
 // completeBeaconWindow folds a finished beacon window into the PRR EWMA and

@@ -286,7 +286,12 @@ func TestMakeBeaconSequenceAndFooter(t *testing.T) {
 	}
 	beacon(t, est, 3, 1, true) // window not complete: no prr yet
 
-	b1 := est.MakeBeacon([]byte{0xAA})
+	// MakeBeacon returns estimator-owned scratch, valid only until the next
+	// call — snapshot what we need before asking for the second beacon.
+	b1ptr := est.MakeBeacon([]byte{0xAA})
+	b1 := *b1ptr
+	b1.NetPayload = append([]byte(nil), b1ptr.NetPayload...)
+	b1.Entries = append([]packet.LinkEntry(nil), b1ptr.Entries...)
 	b2 := est.MakeBeacon(nil)
 	if b2.Seq != b1.Seq+1 {
 		t.Fatalf("beacon seqs %d,%d not consecutive", b1.Seq, b2.Seq)

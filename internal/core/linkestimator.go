@@ -38,7 +38,9 @@ import (
 //     estimator's wire envelope (packet.LEFrame); OnBeacon unwraps it and
 //     returns the network payload for delivery upward. Estimators that need
 //     no footer still speak the envelope so variants interoperate on the
-//     wire.
+//     wire. The returned frame is estimator-owned scratch, valid only
+//     until the next MakeBeacon call — callers serialize it immediately
+//     (the beacon path does) rather than retaining it.
 //
 // RNG-stream discipline: an estimator draws only from the *sim.Rand it was
 // constructed with (the per-node "est/<addr>" stream), and only inside

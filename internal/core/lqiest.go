@@ -69,7 +69,8 @@ type LQIEstimator struct {
 	self packet.Addr
 	rng  *sim.Rand
 
-	beaconSeq uint16
+	beaconSeq     uint16
+	beaconScratch packet.LEFrame // MakeBeacon's reusable envelope
 
 	stats Stats
 }
@@ -100,7 +101,9 @@ func (est *LQIEstimator) Counters() Stats { return est.stats }
 // estimation keeps no reception statistics to advertise.
 func (est *LQIEstimator) MakeBeacon(netPayload []byte) *packet.LEFrame {
 	est.beaconSeq++
-	return &packet.LEFrame{Seq: est.beaconSeq, NetPayload: netPayload}
+	est.beaconScratch = packet.LEFrame{Seq: est.beaconSeq, NetPayload: netPayload,
+		Entries: est.beaconScratch.Entries[:0]}
+	return &est.beaconScratch
 }
 
 // OnBeacon implements LinkEstimator: the beacon's own LQI is the sample,
@@ -113,7 +116,7 @@ func (est *LQIEstimator) OnBeacon(src packet.Addr, le *packet.LEFrame, meta RxMe
 	est.stats.BeaconsIn++
 	e := est.table.Find(src)
 	if e == nil {
-		e = admitBasic(&est.tableView, est.rng, &est.cfg, &est.stats, est.effectiveETX, src)
+		e = admitBasic(&est.tableView, est.rng, &est.cfg, &est.stats, src)
 	}
 	if e != nil {
 		e.lastHeard = now
@@ -147,15 +150,6 @@ func (est *LQIEstimator) fold(e *Entry, lqi uint8) {
 	est.stats.BeaconWindows++
 	e.etxInit = true
 	e.etx = ETXFromLQI(e.prrEwma, est.cfg.MaxETX)
-}
-
-// effectiveETX mirrors the shared eviction-policy view; LQI entries
-// publish an estimate on their first sample, so squatters cannot exist.
-func (est *LQIEstimator) effectiveETX(e *Entry) float64 {
-	if e.etxInit {
-		return e.etx
-	}
-	return 0
 }
 
 // TxResult implements LinkEstimator as a strict no-op — the defining

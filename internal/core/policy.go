@@ -55,18 +55,36 @@ func (v *tableView) Neighbors() []packet.Addr {
 	return out
 }
 
+// effETX is the eviction-policy view of an entry, shared by every
+// estimator kind: its estimate if initialized; MaxETX for a mature
+// estimate-less squatter (the maturity rule of Woo et al.); 0 — not
+// evictable — while warming up. A plain function rather than a per-kind
+// closure so the admission scans, the hottest loops of the whole
+// simulator, inline it. (The LQI kind publishes on the first sample, so
+// its entries never hit the squatter clause — behavior is identical for
+// all kinds.)
+func effETX(e *Entry, maxETX float64) float64 {
+	if e.etxInit {
+		return e.etx
+	}
+	if e.windows >= matureWindows {
+		return maxETX
+	}
+	return 0
+}
+
 // evictWorst removes the unpinned entry with the highest effective ETX if
 // that ETX reaches the eviction threshold, naming the victim and reporting
 // whether a slot was freed. Mature entries without an estimate count as
-// MaxETX (the eff callback encodes that).
-func evictWorst(t *Table, eff func(*Entry) float64, threshold float64) (packet.Addr, bool) {
+// maxETX (see effETX).
+func evictWorst(t *Table, maxETX, threshold float64) (packet.Addr, bool) {
 	var victim packet.Addr
 	worst := -1.0
-	for _, e := range t.Entries() {
+	for _, e := range t.entries {
 		if e.Pinned {
 			continue
 		}
-		etx := eff(e)
+		etx := effETX(e, maxETX)
 		if etx > worst {
 			worst = etx
 			victim = e.Addr
@@ -86,14 +104,14 @@ func evictWorst(t *Table, eff func(*Entry) float64, threshold float64) (packet.A
 // than estimates mature — the failure mode the maturity rules of Woo et
 // al. exist to prevent. The victim is named so callers can report the
 // eviction.
-func evictForReplacement(t *Table, eff func(*Entry) float64, rng *sim.Rand) (packet.Addr, bool) {
+func evictForReplacement(t *Table, maxETX float64, rng *sim.Rand) (packet.Addr, bool) {
 	var victim packet.Addr
 	worst := 0.0
-	for _, e := range t.Entries() {
+	for _, e := range t.entries {
 		if e.Pinned {
 			continue
 		}
-		if etx := eff(e); etx > worst {
+		if etx := effETX(e, maxETX); etx > worst {
 			worst = etx
 			victim = e.Addr
 		}
@@ -124,20 +142,20 @@ func mustInsert(t *Table, src packet.Addr) *Entry {
 // FREQUENCY lottery apply — the four-bit white/compare path in between is
 // the one admission step unique to that design. Admission outcomes are
 // emitted as table events through the view's probe bus.
-func admitBasic(v *tableView, rng *sim.Rand, cfg *Config, stats *Stats, eff func(*Entry) float64, src packet.Addr) *Entry {
+func admitBasic(v *tableView, rng *sim.Rand, cfg *Config, stats *Stats, src packet.Addr) *Entry {
 	t := v.table
 	if e := t.Insert(src); e != nil {
 		stats.Inserted++
 		v.probes.Table(v.self, src, probe.OpInsert)
 		return e
 	}
-	if victim, ok := evictWorst(t, eff, cfg.EvictETX); ok {
+	if victim, ok := evictWorst(t, cfg.MaxETX, cfg.EvictETX); ok {
 		stats.Replaced++
 		v.emitReplace(victim, src)
 		return mustInsert(t, src)
 	}
 	if rng.Bernoulli(cfg.LotteryProb) {
-		if victim, ok := evictForReplacement(t, eff, rng); ok {
+		if victim, ok := evictForReplacement(t, cfg.MaxETX, rng); ok {
 			stats.Replaced++
 			stats.LotteryWins++
 			v.emitReplace(victim, src)
@@ -194,9 +212,10 @@ func scanFooter(e *Entry, le *packet.LEFrame, self packet.Addr) {
 
 // buildBeacon assembles the LE envelope around a network payload: the given
 // sequence number plus a round-robin subset of the table's inbound
-// qualities as the footer.
-func buildBeacon(t *Table, seq uint16, footerIdx *int, footerEntries int, netPayload []byte) *packet.LEFrame {
-	le := &packet.LEFrame{Seq: seq, NetPayload: netPayload}
+// qualities as the footer. It fills le in place — the estimator's scratch
+// frame, whose Entries backing array is reused beacon after beacon.
+func buildBeacon(le *packet.LEFrame, t *Table, seq uint16, footerIdx *int, footerEntries int, netPayload []byte) {
+	le.Seq, le.NetPayload, le.Entries = seq, netPayload, le.Entries[:0]
 	entries := t.Entries()
 	n := len(entries)
 	max := footerEntries
@@ -216,7 +235,6 @@ func buildBeacon(t *Table, seq uint16, footerIdx *int, footerEntries int, netPay
 	if n > 0 {
 		*footerIdx = (*footerIdx + 1) % n
 	}
-	return le
 }
 
 // beaconKind is the machinery shared by the windowed beacon-driven
@@ -232,8 +250,9 @@ type beaconKind struct {
 	rng    *sim.Rand
 	window int
 
-	beaconSeq uint16
-	footerIdx int
+	beaconSeq     uint16
+	footerIdx     int
+	beaconScratch packet.LEFrame // MakeBeacon's reusable envelope
 
 	stats   Stats
 	publish func(e *Entry, sample float64)
@@ -264,7 +283,8 @@ func (k *beaconKind) Counters() Stats { return k.stats }
 // bidirectional estimates.
 func (k *beaconKind) MakeBeacon(netPayload []byte) *packet.LEFrame {
 	k.beaconSeq++
-	return buildBeacon(k.table, k.beaconSeq, &k.footerIdx, k.cfg.FooterEntries, netPayload)
+	buildBeacon(&k.beaconScratch, k.table, k.beaconSeq, &k.footerIdx, k.cfg.FooterEntries, netPayload)
+	return &k.beaconScratch
 }
 
 // OnBeacon implements LinkEstimator: sequence accounting over the MAWindow
@@ -277,7 +297,7 @@ func (k *beaconKind) OnBeacon(src packet.Addr, le *packet.LEFrame, meta RxMeta, 
 	k.stats.BeaconsIn++
 	e := k.table.Find(src)
 	if e == nil {
-		e = admitBasic(&k.tableView, k.rng, &k.cfg, &k.stats, k.effectiveETX, src)
+		e = admitBasic(&k.tableView, k.rng, &k.cfg, &k.stats, src)
 	}
 	if e != nil {
 		accountSeq(e, le.Seq, k.cfg.MaxSeqGap, now)
@@ -298,19 +318,6 @@ func (k *beaconKind) completeWindow(e *Entry) {
 	e.windows++
 	k.stats.BeaconWindows++
 	k.publish(e, sample)
-}
-
-// effectiveETX is the eviction-policy view of an entry (see the four-bit
-// counterpart): warming-up entries are not evictable, mature estimate-less
-// squatters count as MaxETX.
-func (k *beaconKind) effectiveETX(e *Entry) float64 {
-	if e.etxInit {
-		return e.etx
-	}
-	if e.windows >= matureWindows {
-		return k.cfg.MaxETX
-	}
-	return 0
 }
 
 // TxResult implements LinkEstimator as a strict no-op: beacon-only

@@ -70,7 +70,8 @@ type Table struct {
 	entries []*Entry
 	index   []int32 // addr → slot+1 in entries; 0 = absent
 	free    []*Entry
-	scratch []int // victim-candidate buffer for EvictRandomUnpinned
+	slab    []Entry // backing storage; one allocation for all entries ever
+	scratch []int   // victim-candidate buffer for EvictRandomUnpinned
 }
 
 func newTable(capacity int) *Table {
@@ -118,7 +119,14 @@ func (t *Table) Insert(addr packet.Addr) *Entry {
 		t.free = t.free[:n-1]
 		*e = Entry{Addr: addr}
 	} else {
-		e = &Entry{Addr: addr}
+		// Entries come from a lazily-built slab: at most cap distinct
+		// Entry objects ever exist (evicted ones recycle through free),
+		// so the slab never reallocates and the pointers stay stable.
+		if t.slab == nil {
+			t.slab = make([]Entry, 0, t.cap)
+		}
+		t.slab = append(t.slab, Entry{Addr: addr})
+		e = &t.slab[len(t.slab)-1]
 	}
 	t.entries = append(t.entries, e)
 	t.setIndex(addr, len(t.entries)-1)

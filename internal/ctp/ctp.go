@@ -129,6 +129,21 @@ type Node struct {
 	dup       *dupCache
 	originSeq uint8
 
+	// Steady-state scratch: the per-send closures, buffers and envelopes
+	// that used to be allocated per beacon / per data packet. The MAC
+	// serializes transmissions (Busy), so one of each suffices; queued
+	// packets own their bytes via the envelope free list, so nothing
+	// aliases a reused buffer.
+	pumpFn     func()             // pooled-timer callback for retry pacing
+	beaconDone func(mac.TxResult) // beacon Send completion, built once
+	dataDone   func(mac.TxResult) // data Send completion, built once
+	txParent   packet.Addr        // Dst of the in-flight data frame
+	txFrame    packet.Frame       // scratch frame for beacon + data sends
+	cbBuf      []byte             // scratch: encoded CTPBeacon
+	encBuf     []byte             // scratch: encoded LE envelope / data payload
+	rxData     packet.CTPData     // scratch for data-frame decoding
+	envFree    []*packet.CTPData  // recycled forwarding-queue envelopes
+
 	Stats Stats
 }
 
@@ -154,6 +169,10 @@ func New(clock *sim.Simulator, m *mac.MAC, est core.LinkEstimator, isRoot bool, 
 	if isRoot {
 		n.cost = 0
 	}
+	n.beacon = clock.NewTimer(n.beaconFire)
+	n.pumpFn = n.pump
+	n.beaconDone = func(mac.TxResult) { n.pump() }
+	n.dataDone = func(res mac.TxResult) { n.onDataTxDone(n.txParent, res) }
 	m.OnReceive(n.onFrame)
 	est.SetComparer(n)
 	return n
@@ -207,17 +226,40 @@ func (n *Node) Send(data []byte) bool {
 		}
 		return true
 	}
-	d := &packet.CTPData{
-		Origin:    n.self,
-		OriginSeq: n.originSeq,
-		CollectID: n.cfg.CollectID,
-		Data:      data,
-	}
-	if !n.enqueue(d) {
+	// The packet owns a copy of data in a recycled envelope: clients (the
+	// collect sources) reuse their encode buffers, so the queue must not
+	// alias caller memory.
+	env := n.newEnvelope()
+	env.Origin, env.OriginSeq, env.CollectID = n.self, n.originSeq, n.cfg.CollectID
+	env.Data = append(env.Data[:0], data...)
+	if !n.enqueue(env) {
+		n.releaseEnvelope(env)
 		return false
 	}
 	n.pump()
 	return true
+}
+
+// newEnvelope returns a queue-owned CTPData, recycled when possible. Its
+// Data slice keeps its backing array across recycling, so steady-state
+// forwarding allocates nothing.
+func (n *Node) newEnvelope() *packet.CTPData {
+	if k := len(n.envFree); k > 0 {
+		e := n.envFree[k-1]
+		n.envFree = n.envFree[:k-1]
+		return e
+	}
+	return &packet.CTPData{}
+}
+
+// releaseEnvelope recycles an envelope once it leaves the queue.
+func (n *Node) releaseEnvelope(d *packet.CTPData) {
+	buf := d.Data
+	*d = packet.CTPData{}
+	if buf != nil {
+		d.Data = buf[:0]
+	}
+	n.envFree = append(n.envFree, d)
 }
 
 // onFrame dispatches MAC deliveries. A node that has not booted hears

@@ -17,8 +17,11 @@ import (
 // LQI estimator samples it).
 func (n *Node) onDataFrame(f *packet.Frame, info phy.RxInfo) {
 	n.est.OnOverhear(f.Src, core.RxMeta{White: info.White, LQI: info.LQI, SNRdB: info.SNRdB}, n.clock.Now())
-	d, err := packet.DecodeCTPData(f.Payload)
-	if err != nil {
+	// Decode into node scratch: d.Data aliases the frame payload, which
+	// is only valid for this callback — the forwarding path below copies
+	// it into a queue-owned envelope before returning.
+	d := &n.rxData
+	if err := packet.DecodeCTPDataInto(d, f.Payload); err != nil {
 		return
 	}
 	if n.dup.seen(d.Origin, d.OriginSeq, d.THL) {
@@ -52,10 +55,15 @@ func (n *Node) onDataFrame(f *packet.Frame, info phy.RxInfo) {
 		n.Stats.DropsTHL++
 		return
 	}
-	fwd := *d
-	fwd.THL++
-	if n.enqueue(&fwd) {
+	env := n.newEnvelope()
+	buf := env.Data
+	*env = *d
+	env.Data = append(buf[:0], d.Data...)
+	env.THL++
+	if n.enqueue(env) {
 		n.pump()
+	} else {
+		n.releaseEnvelope(env)
 	}
 }
 
@@ -77,27 +85,38 @@ func (n *Node) pump() {
 	}
 	d := n.queue[0]
 	d.ETX = n.costFixed() // stamp our current cost for loop detection
-	payload, err := d.Encode()
+	var err error
+	n.encBuf, err = d.AppendTo(n.encBuf[:0])
 	if err != nil {
 		// Oversized application payload: drop rather than wedge the queue.
 		n.queue = n.queue[1:]
+		n.releaseEnvelope(d)
 		n.Stats.DropsQueue++
 		n.pump()
 		return
 	}
-	parent := n.parent
-	f := &packet.Frame{
+	n.txParent = n.parent
+	n.txFrame = packet.Frame{
 		Type:       packet.TypeData,
 		AckRequest: true,
 		Src:        n.self,
-		Dst:        parent,
-		Payload:    payload,
+		Dst:        n.txParent,
+		Payload:    n.encBuf,
 	}
 	n.sending = true
-	if err := n.m.Send(f, func(res mac.TxResult) { n.onDataTxDone(parent, res) }); err != nil {
+	if n.m.Send(&n.txFrame, n.dataDone) != nil {
 		n.sending = false
-		n.clock.After(n.rng.UniformTime(n.cfg.RetryDelayMin, n.cfg.RetryDelayMax), n.pump)
+		n.scheduleRetry()
 	}
+}
+
+// scheduleRetry paces the next pump attempt through the pooled scheduling
+// family: overlapping retry timers must stay distinct events (coalescing
+// them into one reusable timer would change dispatch counts), but none of
+// them needs a handle, so none of them needs an allocation.
+func (n *Node) scheduleRetry() {
+	delay := n.rng.UniformTime(n.cfg.RetryDelayMin, n.cfg.RetryDelayMax)
+	n.clock.Schedule(n.clock.Now()+delay, n.pumpFn)
 }
 
 // onDataTxDone feeds the ack bit to the estimator and applies the
@@ -113,12 +132,14 @@ func (n *Node) onDataTxDone(dst packet.Addr, res mac.TxResult) {
 	retry := false
 	switch {
 	case res.Acked:
+		n.releaseEnvelope(n.queue[0])
 		n.queue = n.queue[1:]
 		n.attempts = 0
 		n.Stats.Forwarded++
 	default:
 		n.attempts++
 		if n.attempts >= n.cfg.MaxRetries {
+			n.releaseEnvelope(n.queue[0])
 			n.queue = n.queue[1:]
 			n.attempts = 0
 			n.Stats.DropsRetry++
@@ -130,7 +151,7 @@ func (n *Node) onDataTxDone(dst packet.Addr, res mac.TxResult) {
 	// switch pumps immediately through the new route).
 	n.updateRoute()
 	if retry {
-		n.clock.After(n.rng.UniformTime(n.cfg.RetryDelayMin, n.cfg.RetryDelayMax), n.pump)
+		n.scheduleRetry()
 	} else {
 		n.pump()
 	}

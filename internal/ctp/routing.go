@@ -2,7 +2,6 @@ package ctp
 
 import (
 	"fourbit/internal/core"
-	"fourbit/internal/mac"
 	"fourbit/internal/packet"
 	"fourbit/internal/phy"
 )
@@ -157,11 +156,10 @@ func (n *Node) trickleReset() {
 }
 
 func (n *Node) scheduleBeacon() {
-	if n.beacon != nil {
-		n.beacon.Cancel()
-	}
+	// One persistent timer re-armed per cycle (sim.Timer.Reschedule):
+	// identical semantics to the cancel-and-After idiom, no allocation.
 	delay := n.rng.UniformTime(n.interval/2, n.interval)
-	n.beacon = n.clock.After(delay, n.beaconFire)
+	n.beacon.RescheduleAfter(delay)
 }
 
 func (n *Node) beaconFire() {
@@ -183,21 +181,23 @@ func (n *Node) sendBeacon() {
 		return
 	}
 	n.est.Age(n.interval.Scale(n.cfg.AgeFactor), n.clock.Now())
-	cb := &packet.CTPBeacon{Parent: n.parent, ETX: n.costFixed()}
+	cb := packet.CTPBeacon{Parent: n.parent, ETX: n.costFixed()}
 	if !n.hasRoute() {
 		cb.Options |= packet.CTPOptPull
 	}
-	cbBytes, err := cb.Encode()
-	if err != nil {
-		panic("ctp: beacon encode: " + err.Error())
-	}
-	le := n.est.MakeBeacon(cbBytes)
-	leBytes, err := le.Encode()
+	// Everything below runs in node-owned scratch: the beacon and LE
+	// envelope encode into reusable buffers, the estimator's MakeBeacon
+	// returns its own scratch frame, and the MAC copies what it needs
+	// before Send returns.
+	n.cbBuf = cb.AppendTo(n.cbBuf[:0])
+	le := n.est.MakeBeacon(n.cbBuf)
+	var err error
+	n.encBuf, err = le.AppendTo(n.encBuf[:0])
 	if err != nil {
 		panic("ctp: LE encode: " + err.Error())
 	}
-	f := &packet.Frame{Type: packet.TypeBeacon, Src: n.self, Dst: packet.Broadcast, Payload: leBytes}
-	if n.m.Send(f, func(mac.TxResult) { n.pump() }) == nil {
+	n.txFrame = packet.Frame{Type: packet.TypeBeacon, Src: n.self, Dst: packet.Broadcast, Payload: n.encBuf}
+	if n.m.Send(&n.txFrame, n.beaconDone) == nil {
 		n.Stats.BeaconsSent++
 		n.probes.Beacon(n.self, cb.ETX, cb.Options&packet.CTPOptPull != 0)
 	}
@@ -243,7 +243,17 @@ func (n *Node) CompareBit(src packet.Addr, netPayload []byte) bool {
 		if a == n.parent {
 			continue
 		}
-		if total, ok := n.totalCost(a); ok && optimistic < total {
+		// totalCost(a) with the table entry already in hand: identical
+		// result, one table lookup fewer on the simulator's hottest scan.
+		etx, ok := e.ETX()
+		if !ok {
+			continue
+		}
+		r := n.route(a)
+		if r == nil || r.cost == noCost {
+			continue
+		}
+		if optimistic < r.cost+etx {
 			return true
 		}
 	}

@@ -210,15 +210,24 @@ func EnvConfigFor(tp *topo.Topology, seed uint64, txPowerDBm float64) node.EnvCo
 	return cfg
 }
 
-// Run executes one collection run and gathers its metrics.
-func Run(rc RunConfig) *Result {
+// resolveEnv materializes the environment configuration a run will execute
+// under: the per-testbed derivation unless rc.Env overrides it, with Seed
+// and TxPowerDBm always reasserted from the RunConfig so replication and
+// power sweeps stay consistent. Run and the batch runners share this so the
+// batch-level channel precompute sees exactly the config Run will use.
+func resolveEnv(rc RunConfig) node.EnvConfig {
 	envCfg := EnvConfigFor(rc.Topo, rc.Seed, rc.TxPowerDBm)
 	if rc.Env != nil {
 		envCfg = *rc.Env
 		envCfg.Seed = rc.Seed
 		envCfg.TxPowerDBm = rc.TxPowerDBm
 	}
-	env := node.NewEnv(rc.Topo, envCfg)
+	return envCfg
+}
+
+// Run executes one collection run and gathers its metrics.
+func Run(rc RunConfig) *Result {
+	env := node.NewEnv(rc.Topo, resolveEnv(rc))
 	var timeline *probe.Collector
 	if rc.TimelineWindow > 0 {
 		timeline = probe.NewCollector(rc.TimelineWindow)

@@ -8,7 +8,9 @@ import (
 	"sync"
 
 	"fourbit/internal/core"
+	"fourbit/internal/phy"
 	"fourbit/internal/sim"
+	"fourbit/internal/topo"
 )
 
 // The run scheduler. Every figure of the evaluation is a batch of
@@ -28,10 +30,46 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // outcome of rcs[i].
 func RunAll(rcs []RunConfig) []*Result { return RunAllWorkers(rcs, DefaultWorkers()) }
 
+// shareChannelPre returns a copy of the batch in which every run whose
+// environment does not already carry a channel precompute gets one shared
+// per (topology, phy-params) cell: the O(n²·log10) channel geometry is
+// built once per cell on the submitting goroutine and then read — never
+// written — by every worker instantiating its per-seed channel from it.
+// Transmit power is deliberately absent from the cell key: it never enters
+// channel construction (radios apply it per frame), so a power sweep's
+// cells all share one precompute.
+func shareChannelPre(rcs []RunConfig) []RunConfig {
+	type cellKey struct {
+		tp  *topo.Topology
+		phy phy.Params
+	}
+	out := make([]RunConfig, len(rcs))
+	copy(out, rcs)
+	pres := make(map[cellKey]*phy.ChannelPre)
+	for i := range out {
+		cfg := resolveEnv(out[i])
+		if cfg.ChanPre != nil {
+			continue
+		}
+		k := cellKey{out[i].Topo, cfg.Phy}
+		pre, ok := pres[k]
+		if !ok {
+			dist, extra := out[i].Topo.Matrices()
+			pre = phy.Precompute(dist, extra, cfg.Phy)
+			pres[k] = pre
+		}
+		cfg.ChanPre = pre
+		cfgCopy := cfg
+		out[i].Env = &cfgCopy
+	}
+	return out
+}
+
 // RunAllWorkers executes the runs on a pool of at most workers goroutines
 // (values < 2 mean serial execution in the calling goroutine). Results are
 // returned in submission order and are independent of the worker count.
 func RunAllWorkers(rcs []RunConfig, workers int) []*Result {
+	rcs = shareChannelPre(rcs)
 	results := make([]*Result, len(rcs))
 	if workers > len(rcs) {
 		workers = len(rcs)

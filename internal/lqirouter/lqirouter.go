@@ -263,7 +263,10 @@ func (n *Node) Send(data []byte) bool {
 		}
 		return true
 	}
-	d := &packet.LQIData{Origin: n.self, OriginSeq: n.originSeq, Data: data}
+	// Copy data: clients (the collect sources) reuse their encode buffers,
+	// so the queue must not alias caller memory.
+	d := &packet.LQIData{Origin: n.self, OriginSeq: n.originSeq,
+		Data: append([]byte(nil), data...)}
 	if !n.enqueue(d) {
 		return false
 	}

@@ -76,10 +76,11 @@ var ErrBusy = errors.New("mac: transmission in progress")
 
 // Receiver is the upper-layer frame sink. Frames addressed to this node or
 // broadcast are delivered with their physical-layer metadata (including the
-// white bit). The frame (and its payload, which aliases the sender's
-// encoded bytes) is valid only for the duration of the callback and must be
-// treated as immutable; layers that need the payload bytes later may retain
-// the slice (the backing array is never rewritten) but not the Frame.
+// white bit). The frame and its payload — which aliases the sender's
+// reusable encode buffer — are valid only for the duration of the callback
+// and must be treated as immutable; layers that need the payload bytes
+// later must copy them before returning (the sender's next transmission
+// rewrites the backing array).
 type Receiver func(f *packet.Frame, info phy.RxInfo)
 
 // MAC is one node's link layer.
@@ -104,6 +105,7 @@ type MAC struct {
 	cur     *txOp // nil, or &m.op
 	op      txOp  // the reusable operation record
 	timer   *sim.Timer
+	txBuf   []byte       // reusable data/beacon encode buffer; see Send
 	rxFrame packet.Frame // scratch for the receive path; see onRadioReceive
 
 	// Pooled synchronous acks. An ack's encoded bytes are referenced by
@@ -195,13 +197,17 @@ func (m *MAC) Send(f *packet.Frame, done func(TxResult)) error {
 	}
 	m.dsn++
 	f.Seq = m.dsn
-	enc, err := f.Encode()
+	// One reusable encode buffer: the medium references these bytes only
+	// until the transmission leaves the air, and the next Send cannot
+	// start before then (Busy serializes operations), so reuse is safe.
+	var err error
+	m.txBuf, err = f.AppendTo(m.txBuf[:0])
 	if err != nil {
 		return err
 	}
 	m.op = txOp{
 		frame:    f,
-		encoded:  enc,
+		encoded:  m.txBuf,
 		done:     done,
 		awaitAck: f.AckRequest && f.Dst != packet.Broadcast,
 		state:    txBackoff,

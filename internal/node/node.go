@@ -27,6 +27,14 @@ type EnvConfig struct {
 	Radio      phy.RadioParams
 	LQI        phy.LQIParams
 	MAC        mac.Params
+
+	// ChanPre, when non-nil, is the shared immutable channel precompute to
+	// instantiate the per-seed channel from, skipping the O(n²·log10)
+	// geometry rebuild. It must have been built from this topology's
+	// matrices and exactly these Phy params (NewEnv verifies the params);
+	// the batch runners set it once per sweep cell and share it read-only
+	// across the worker pool.
+	ChanPre *phy.ChannelPre
 }
 
 // DefaultEnvConfig returns the standard environment at the given power.
@@ -60,8 +68,16 @@ func NewEnv(t *topo.Topology, cfg EnvConfig) *Env {
 	clock := sim.New(cfg.Seed)
 	seeds := sim.NewSeedSpace(cfg.Seed)
 	bus := probe.NewBus(clock)
-	dist, extra := t.Matrices()
-	ch := phy.NewChannel(dist, extra, cfg.Phy, seeds)
+	var ch *phy.Channel
+	if cfg.ChanPre != nil {
+		if cfg.ChanPre.N() != t.N() || cfg.ChanPre.Params() != cfg.Phy {
+			panic("node: EnvConfig.ChanPre does not match topology/phy params")
+		}
+		ch = cfg.ChanPre.NewChannel(seeds)
+	} else {
+		dist, extra := t.Matrices()
+		ch = phy.NewChannel(dist, extra, cfg.Phy, seeds)
+	}
 	med := phy.NewMedium(clock, ch, cfg.Radio, cfg.LQI, seeds)
 	for i := 0; i < med.N(); i++ {
 		med.Radio(i).SetTxPower(cfg.TxPowerDBm)

@@ -26,10 +26,23 @@ func (d *CTPData) EncodedLen() int { return ctpDataHeaderLen + len(d.Data) }
 
 // Encode serializes the CTP data header and payload.
 func (d *CTPData) Encode() ([]byte, error) {
+	return d.AppendTo(nil)
+}
+
+// AppendTo serializes the CTP data frame onto dst and returns the
+// extended slice, reusing dst's capacity — the allocation-free encoder
+// for the forwarding path.
+func (d *CTPData) AppendTo(dst []byte) ([]byte, error) {
 	if d.EncodedLen() > MaxPayload {
-		return nil, ErrTooLong
+		return dst, ErrTooLong
 	}
-	buf := make([]byte, d.EncodedLen())
+	start := len(dst)
+	if cap(dst)-start >= d.EncodedLen() {
+		dst = dst[:start+d.EncodedLen()]
+	} else {
+		dst = append(dst, make([]byte, d.EncodedLen())...)
+	}
+	buf := dst[start:]
 	buf[0] = d.Options
 	buf[1] = d.THL
 	binary.BigEndian.PutUint16(buf[2:], d.ETX)
@@ -37,15 +50,33 @@ func (d *CTPData) Encode() ([]byte, error) {
 	buf[6] = d.OriginSeq
 	buf[7] = d.CollectID
 	copy(buf[ctpDataHeaderLen:], d.Data)
-	return buf, nil
+	return dst, nil
 }
 
-// DecodeCTPData parses a CTP data frame payload.
+// DecodeCTPData parses a CTP data frame payload. The payload is copied;
+// the result does not alias data.
 func DecodeCTPData(data []byte) (*CTPData, error) {
-	if len(data) < ctpDataHeaderLen {
-		return nil, ErrShortHeader
+	d := &CTPData{}
+	if err := DecodeCTPDataInto(d, data); err != nil {
+		return nil, err
 	}
-	d := &CTPData{
+	if len(d.Data) > 0 {
+		p := make([]byte, len(d.Data))
+		copy(p, d.Data)
+		d.Data = p
+	}
+	return d, nil
+}
+
+// DecodeCTPDataInto parses a CTP data frame payload into d without
+// allocating: d.Data aliases data, so the caller must treat it as
+// immutable and must not retain it past data's lifetime. This is the
+// forwarding receive path's decoder.
+func DecodeCTPDataInto(d *CTPData, data []byte) error {
+	if len(data) < ctpDataHeaderLen {
+		return ErrShortHeader
+	}
+	*d = CTPData{
 		Options:   data[0],
 		THL:       data[1],
 		ETX:       binary.BigEndian.Uint16(data[2:]),
@@ -54,10 +85,9 @@ func DecodeCTPData(data []byte) (*CTPData, error) {
 		CollectID: data[7],
 	}
 	if rest := data[ctpDataHeaderLen:]; len(rest) > 0 {
-		d.Data = make([]byte, len(rest))
-		copy(d.Data, rest)
+		d.Data = rest
 	}
-	return d, nil
+	return nil
 }
 
 // CTPBeacon is the CTP routing frame: the sender advertises its current
@@ -72,11 +102,23 @@ const ctpBeaconLen = 5
 
 // Encode serializes the routing frame.
 func (b *CTPBeacon) Encode() ([]byte, error) {
-	buf := make([]byte, ctpBeaconLen)
+	return b.AppendTo(nil), nil
+}
+
+// AppendTo serializes the routing frame onto dst and returns the extended
+// slice, reusing dst's capacity. CTPBeacon serialization cannot fail.
+func (b *CTPBeacon) AppendTo(dst []byte) []byte {
+	start := len(dst)
+	if cap(dst)-start >= ctpBeaconLen {
+		dst = dst[:start+ctpBeaconLen]
+	} else {
+		dst = append(dst, make([]byte, ctpBeaconLen)...)
+	}
+	buf := dst[start:]
 	buf[0] = b.Options
 	binary.BigEndian.PutUint16(buf[1:], uint16(b.Parent))
 	binary.BigEndian.PutUint16(buf[3:], b.ETX)
-	return buf, nil
+	return dst
 }
 
 // DecodeCTPBeacon parses a routing frame.

@@ -37,13 +37,26 @@ func (l *LEFrame) EncodedLen() int {
 
 // Encode serializes the LE envelope.
 func (l *LEFrame) Encode() ([]byte, error) {
+	return l.AppendTo(nil)
+}
+
+// AppendTo serializes the LE envelope onto dst and returns the extended
+// slice, reusing dst's capacity — the allocation-free encoder for the
+// beacon send path.
+func (l *LEFrame) AppendTo(dst []byte) ([]byte, error) {
 	if len(l.Entries) > MaxLinkEntries {
-		return nil, ErrTooLong
+		return dst, ErrTooLong
 	}
 	if len(l.NetPayload) > 255 {
-		return nil, ErrTooLong
+		return dst, ErrTooLong
 	}
-	buf := make([]byte, l.EncodedLen())
+	start := len(dst)
+	if cap(dst)-start >= l.EncodedLen() {
+		dst = dst[:start+l.EncodedLen()]
+	} else {
+		dst = append(dst, make([]byte, l.EncodedLen())...)
+	}
+	buf := dst[start:]
 	binary.BigEndian.PutUint16(buf[0:], l.Seq)
 	buf[2] = byte(len(l.Entries))
 	buf[3] = byte(len(l.NetPayload))
@@ -54,7 +67,7 @@ func (l *LEFrame) Encode() ([]byte, error) {
 		buf[off+2] = e.InQuality
 		off += linkEntryLen
 	}
-	return buf, nil
+	return dst, nil
 }
 
 // DecodeLEFrame parses an LE envelope. The payload is copied; the result

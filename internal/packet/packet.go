@@ -102,6 +102,27 @@ func (f *Frame) Encode() ([]byte, error) {
 	return buf, nil
 }
 
+// AppendTo serializes the frame onto dst and returns the extended slice —
+// the steady-state encoder: a caller that keeps the returned slice as its
+// scratch buffer (f.AppendTo(buf[:0])) encodes without allocating once
+// the buffer has grown to its working size.
+func (f *Frame) AppendTo(dst []byte) ([]byte, error) {
+	n := len(dst)
+	dst = appendZeros(dst, f.EncodedLen())
+	if err := f.EncodeTo(dst[n:]); err != nil {
+		return dst[:n], err
+	}
+	return dst, nil
+}
+
+// appendZeros extends dst by n writable bytes, reusing capacity.
+func appendZeros(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	return append(dst, make([]byte, n)...)
+}
+
 // EncodeTo serializes the frame into buf, which must be exactly
 // EncodedLen() bytes. It writes the same bytes Encode returns; callers
 // with a reusable buffer (the MAC's pooled acks) use it to serialize
@@ -211,9 +232,37 @@ var crc16Table = func() (t [256]uint16) {
 	return t
 }()
 
-// CRC16 computes CRC-16/CCITT (polynomial 0x1021, init 0xFFFF) over data.
+// crc16Slices extends crc16Table for slicing-by-8: crc16Slices[k][b] is the
+// CRC state transition for byte b followed by k zero bytes, so eight input
+// bytes resolve through eight independent table lookups per iteration.
+// Algebraically identical to the byte-at-a-time loop (CRC is linear over
+// GF(2)), hence bit-identical output — certified by TestCRC16SlicingMatchesBitwise.
+var crc16Slices = func() (t [8][256]uint16) {
+	t[0] = crc16Table
+	for k := 1; k < 8; k++ {
+		for b := 0; b < 256; b++ {
+			c := t[k-1][b]
+			t[k][b] = c<<8 ^ crc16Table[byte(c>>8)]
+		}
+	}
+	return t
+}()
+
+// CRC16 computes CRC-16/CCITT (polynomial 0x1021, init 0xFFFF) over data,
+// eight bytes per step (slicing-by-8) with a byte-at-a-time tail.
 func CRC16(data []byte) uint16 {
 	crc := uint16(0xFFFF)
+	for len(data) >= 8 {
+		crc = crc16Slices[7][byte(crc>>8)^data[0]] ^
+			crc16Slices[6][byte(crc)^data[1]] ^
+			crc16Slices[5][data[2]] ^
+			crc16Slices[4][data[3]] ^
+			crc16Slices[3][data[4]] ^
+			crc16Slices[2][data[5]] ^
+			crc16Slices[1][data[6]] ^
+			crc16Slices[0][data[7]]
+		data = data[8:]
+	}
 	for _, b := range data {
 		crc = crc<<8 ^ crc16Table[byte(crc>>8)^b]
 	}

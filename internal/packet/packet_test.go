@@ -133,6 +133,38 @@ func TestCRC16KnownVector(t *testing.T) {
 	}
 }
 
+// crc16Bitwise is the definitional CRC-16/CCITT: one bit at a time, no
+// tables — the reference the slicing-by-8 production path is certified
+// against.
+func crc16Bitwise(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+func TestCRC16SlicingMatchesBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Every length 0..64 crosses all slicing tail sizes; contents random.
+	for size := 0; size <= 64; size++ {
+		for trial := 0; trial < 8; trial++ {
+			data := make([]byte, size)
+			rng.Read(data)
+			if got, want := CRC16(data), crc16Bitwise(data); got != want {
+				t.Fatalf("CRC16(len=%d) = %#x, bitwise reference %#x", size, got, want)
+			}
+		}
+	}
+}
+
 func TestAddrString(t *testing.T) {
 	if Broadcast.String() != "bcast" || None.String() != "none" || Addr(5).String() != "5" {
 		t.Fatal("Addr.String formatting wrong")

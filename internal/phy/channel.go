@@ -3,6 +3,7 @@ package phy
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"fourbit/internal/sim"
 )
@@ -126,9 +127,12 @@ type Channel struct {
 	// a memo.)
 	noiseMemo []chanMemo // n
 
-	// Per-family OU transition-coefficient caches; see ouCoeffs.
+	// Per-family OU transition-coefficient caches; see ouCoeffs. burstCo
+	// is the analogous shared decay cache for the per-node noise-burst
+	// processes (identical sojourn means across nodes).
 	fadeCo  ouCoeffs
 	noiseCo ouCoeffs
+	burstCo geCoeffs
 
 	noiseRng *sim.Rand
 	fadeRng  *sim.Rand
@@ -142,12 +146,78 @@ type chanMemo struct {
 	val   float64
 }
 
-// NewChannel builds the channel for nodes separated by dist (meters,
-// dist[i][j] == dist[j][i]) with optional extraLossDB (static obstruction
-// loss per unordered pair; nil means none). Random draws come from streams
-// of rng so that two channels built from the same seeds are identical.
-func NewChannel(dist [][]float64, extraLossDB [][]float64, p Params, seeds *sim.SeedSpace) *Channel {
+// ChannelPre is the immutable, seed-independent half of a channel: the
+// deterministic path-loss geometry (the n·log10 matrix — by far the most
+// expensive part of channel construction) plus the parameters. One
+// ChannelPre serves any number of per-seed Channel instantiations, and it
+// is safe to share read-only across goroutines: after Precompute returns,
+// nothing ever writes it (NewChannel only reads basePL/extraDB).
+type ChannelPre struct {
+	p Params
+	n int
+
+	// basePL is the distance-determined path loss per unordered pair
+	// (PathLossRefDB + 10·Exponent·log10(max(d, 0.5m))), stored at [i*n+j]
+	// for i < j. The per-seed terms — shadowing draw, then static
+	// obstruction loss — are added in NewChannel in exactly the order the
+	// monolithic constructor used, so the float results are bit-identical.
+	basePL []float64
+	// extraDB is a defensive copy of the static obstruction loss per
+	// unordered pair ([i*n+j], i < j); nil when the topology had none.
+	extraDB []float64
+}
+
+// precomputeCount counts Precompute invocations process-wide. It exists so
+// tests can assert that replicated runs share one precompute per cell
+// instead of rebuilding the geometry per seed.
+var precomputeCount atomic.Uint64
+
+// PrecomputeCount returns the process-wide number of Precompute calls
+// (test/diagnostic hook for setup-sharing assertions).
+func PrecomputeCount() uint64 { return precomputeCount.Load() }
+
+// Precompute builds the immutable half of a channel for nodes separated by
+// dist (meters, dist[i][j] == dist[j][i]) with optional extraLossDB (static
+// obstruction loss per unordered pair; nil means none). It draws no
+// randomness: the result is a pure function of (dist, extraLossDB, p).
+func Precompute(dist [][]float64, extraLossDB [][]float64, p Params) *ChannelPre {
+	precomputeCount.Add(1)
 	n := len(dist)
+	pre := &ChannelPre{p: p, n: n, basePL: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := dist[i][j]
+			if d < 0.5 {
+				d = 0.5
+			}
+			pre.basePL[i*n+j] = p.PathLossRefDB + 10*p.PathLossExponent*math.Log10(d)
+		}
+	}
+	if extraLossDB != nil {
+		pre.extraDB = make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pre.extraDB[i*n+j] = extraLossDB[i][j]
+			}
+		}
+	}
+	return pre
+}
+
+// N returns the number of nodes the precompute covers.
+func (pre *ChannelPre) N() int { return pre.n }
+
+// Params returns the channel parameters the precompute was built for.
+func (pre *ChannelPre) Params() Params { return pre.p }
+
+// NewChannel instantiates the per-seed half over the shared precompute:
+// hardware variation, shadowing, and the dynamic processes, drawn from
+// streams of seeds in the same order as the monolithic constructor, so a
+// precompute-split channel is bit-identical to a direct one. The receiver
+// is only read; concurrent NewChannel calls over one ChannelPre are safe.
+func (pre *ChannelPre) NewChannel(seeds *sim.SeedSpace) *Channel {
+	n := pre.n
+	p := pre.p
 	c := &Channel{
 		p:            p,
 		n:            n,
@@ -170,19 +240,15 @@ func NewChannel(dist [][]float64, extraLossDB [][]float64, p Params, seeds *sim.
 		for i := 0; i < n; i++ {
 			c.bursts[i] = NewGilbertElliott(p.NoiseBurstAmpDB,
 				p.NoiseBurstMeanOff, p.NoiseBurstMeanOn,
-				seeds.Stream(fmt.Sprintf("phy/burst/%d", i)))
+				seeds.Stream(fmt.Sprintf("phy/burst/%d", i))).SharedDecay(&c.burstCo)
 		}
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			d := dist[i][j]
-			if d < 0.5 {
-				d = 0.5
-			}
-			pl := p.PathLossRefDB + 10*p.PathLossExponent*math.Log10(d)
+			pl := pre.basePL[i*n+j]
 			pl += static.Normal(0, p.ShadowSigmaDB)
-			if extraLossDB != nil {
-				pl += extraLossDB[i][j]
+			if pre.extraDB != nil {
+				pl += pre.extraDB[i*n+j]
 			}
 			// Environment loss is symmetric; asymmetry enters through the
 			// transmitter's power offset (receiver noise figure is applied
@@ -202,6 +268,16 @@ func NewChannel(dist [][]float64, extraLossDB [][]float64, p Params, seeds *sim.
 	c.noiseEpoch = 1
 	c.noiseMemo = make([]chanMemo, n)
 	return c
+}
+
+// NewChannel builds the channel for nodes separated by dist (meters,
+// dist[i][j] == dist[j][i]) with optional extraLossDB (static obstruction
+// loss per unordered pair; nil means none). Random draws come from streams
+// of rng so that two channels built from the same seeds are identical.
+// It is Precompute + ChannelPre.NewChannel in one step; replicated runs
+// should precompute once and instantiate per seed instead.
+func NewChannel(dist [][]float64, extraLossDB [][]float64, p Params, seeds *sim.SeedSpace) *Channel {
+	return Precompute(dist, extraLossDB, p).NewChannel(seeds)
 }
 
 // N returns the number of nodes the channel connects.

@@ -21,7 +21,7 @@ type ouState struct {
 }
 
 const (
-	ouCoeffBits  = 3
+	ouCoeffBits  = 6
 	ouCoeffSlots = 1 << ouCoeffBits
 )
 
@@ -107,12 +107,33 @@ type GilbertElliott struct {
 	piGood  float64 // stationary P(Good) = mu/(lambda+mu)
 	rateSum float64 // lambda + mu
 
-	// One-entry decay memo, same trick as ouCoeffs: queries arrive on the
-	// regular cadence of reception events, so the step t−last repeats and
-	// e^(−(λ+μ)·dt) can be replayed instead of recomputed. memoStep == 0
-	// means empty (the memo is only consulted for positive steps).
+	// Decay memo, same trick as ouCoeffs: queries arrive on the regular
+	// cadence of reception events, so the step t−last repeats and
+	// e^(−(λ+μ)·dt) can be replayed instead of recomputed. The default
+	// memo is process-local; SharedDecay points a family of identically
+	// parameterized processes (e.g. a channel's per-node noise bursts) at
+	// one common cache, so a step seen by any member hits for all.
+	// memoStep == 0 means empty (only consulted for positive steps).
 	memoStep  sim.Time
 	memoDecay float64
+	shared    *geCoeffs
+}
+
+// geCoeffs is a direct-mapped decay cache shared by a family of
+// GilbertElliott processes with one (λ+μ). Exactness-transparent like
+// ouCoeffs: a hit replays e^(−(λ+μ)·dt) computed by the identical
+// expression on the identical step.
+type geCoeffs struct {
+	dt    [ouCoeffSlots]sim.Time // 0 = empty
+	decay [ouCoeffSlots]float64
+}
+
+// SharedDecay attaches the process to a family decay cache and returns the
+// receiver. All members must have identical rate sums (identical sojourn
+// means); the caller guarantees this.
+func (g *GilbertElliott) SharedDecay(c *geCoeffs) *GilbertElliott {
+	g.shared = c
+	return g
 }
 
 // NewGilbertElliott returns a burst process driven by rng. The process is
@@ -158,8 +179,18 @@ func (g *GilbertElliott) ExtraLossDB(t sim.Time) float64 {
 		g.last = t
 		g.state = g.rng.Bernoulli(g.piGood)
 	} else if step := t - g.last; step > 0 {
-		decay := g.memoDecay
-		if step != g.memoStep {
+		var decay float64
+		switch {
+		case g.shared != nil:
+			c := g.shared
+			i := uint(uint64(step) * 0x9e3779b97f4a7c15 >> (64 - ouCoeffBits))
+			if c.dt[i] != step {
+				c.dt[i], c.decay[i] = step, math.Exp(-g.rateSum*step.Seconds())
+			}
+			decay = c.decay[i]
+		case step == g.memoStep:
+			decay = g.memoDecay
+		default:
 			decay = math.Exp(-g.rateSum * step.Seconds())
 			g.memoStep, g.memoDecay = step, decay
 		}

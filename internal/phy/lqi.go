@@ -4,14 +4,16 @@ import "fourbit/internal/sim"
 
 // RxInfo is the per-packet physical-layer metadata attached to every
 // received frame. It carries the paper's single physical-layer bit — the
-// white bit — together with the raw indicators (LQI, RSSI, SNR) that
-// protocols such as MultiHopLQI consume directly.
+// white bit — together with the raw indicators (LQI, SNR) that protocols
+// such as MultiHopLQI consume directly. (A received-signal-strength field
+// used to ride along; nothing consumed it, and its dBm conversion was one
+// of the costliest operations on the delivery path, so it is gone —
+// recover RSSI as SNRdB + noise floor if a future consumer needs it.)
 type RxInfo struct {
-	At      sim.Time
-	SNRdB   float64 // effective signal-to-(noise+interference) ratio
-	RSSIdBm float64 // received signal strength
-	LQI     uint8   // CC2420-style link quality indication, ~[40,110]
-	White   bool    // the white bit: all symbols decoded with high confidence
+	At    sim.Time
+	SNRdB float64 // effective signal-to-(noise+interference) ratio
+	LQI   uint8   // CC2420-style link quality indication, ~[40,110]
+	White bool    // the white bit: all symbols decoded with high confidence
 }
 
 // LQIParams control the synthesis of the CC2420-style LQI value and of the

@@ -340,11 +340,10 @@ func (m *Medium) finishTx(t *transmission) {
 		if m.prrDecide(sinrDB, len(t.data)) {
 			lqi, white := m.lqip.Synthesize(sinrDB, m.rng)
 			info := RxInfo{
-				At:      now,
-				SNRdB:   sinrDB,
-				RSSIdBm: MilliwattsToDBm(rx.powerMW),
-				LQI:     lqi,
-				White:   white,
+				At:    now,
+				SNRdB: sinrDB,
+				LQI:   lqi,
+				White: white,
 			}
 			m.Stats.Delivered++
 			rj.Stats.RxFrames++

@@ -15,7 +15,6 @@ import "fmt"
 type Simulator struct {
 	now     Time
 	queue   eventQueue
-	seq     uint64
 	stopped bool
 	events  uint64 // total events dispatched, for reporting
 	rng     *SeedSpace
@@ -59,8 +58,7 @@ func (s *Simulator) At(at Time, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	t := &Timer{at: at, seq: s.seq, fn: fn, sim: s}
-	s.seq++
+	t := &Timer{at: at, fn: fn, sim: s}
 	s.queue.push(t)
 	return t
 }
@@ -74,8 +72,8 @@ func (s *Simulator) After(d Time, fn func()) *Timer {
 // Schedule is the pooled fire-and-forget variant of At: no handle is
 // returned, so the Timer cannot be cancelled — and, because nothing can
 // reference it after it fires, it is recycled through the simulator's free
-// list. Dispatch order is identical to At (one shared sequence counter
-// breaks deadline ties FIFO across both families).
+// list. Dispatch order is identical to At (same-deadline events fire FIFO
+// in push order across both families).
 func (s *Simulator) Schedule(at Time, fn func()) {
 	if fn == nil {
 		panic("sim: nil event function")
@@ -111,8 +109,6 @@ func (s *Simulator) pooledTimer(at Time) *Timer {
 		t = &Timer{sim: s, pooled: true}
 	}
 	t.at = at
-	t.seq = s.seq
-	s.seq++
 	return t
 }
 
@@ -139,8 +135,6 @@ func (s *Simulator) Every(start, interval Time, fn func()) *Timer {
 	checkNonNegative(interval)
 	t := &Timer{sim: s, fn: fn, repeat: interval}
 	t.at = start
-	t.seq = s.seq
-	s.seq++
 	if start < s.now {
 		panic(fmt.Sprintf("sim: periodic start %v before now %v", start, s.now))
 	}
@@ -161,8 +155,6 @@ func (s *Simulator) Step() bool {
 	fn, fnArg, arg := t.fn, t.fnArg, t.arg
 	if t.repeat > 0 && !t.cancelled {
 		t.at += t.repeat
-		t.seq = s.seq
-		s.seq++
 		s.queue.push(t)
 	} else {
 		t.fired = true
@@ -216,32 +208,33 @@ func (s *Simulator) Stop() { s.stopped = true }
 // not yet reaped — cancellation removes immediately, so this is exact).
 func (s *Simulator) Pending() int { return s.queue.Len() }
 
-// Timer is a handle to a scheduled event.
+// Timer is a handle to a scheduled event. While queued it is a node of an
+// intrusive timing-wheel bucket list (next/prev/bkt); bkt non-nil is the
+// queued state.
 type Timer struct {
-	at        Time
-	seq       uint64
-	index     int
-	fn        func()
-	fnArg     func(any)
-	arg       any
-	sim       *Simulator
-	repeat    Time
-	fired     bool
-	cancelled bool
-	pooled    bool
+	at         Time
+	next, prev *Timer
+	bkt        *bucket
+	fn         func()
+	fnArg      func(any)
+	arg        any
+	sim        *Simulator
+	repeat     Time
+	fired      bool
+	cancelled  bool
+	pooled     bool
 }
 
 // Cancel removes the event from the queue. It reports whether the event was
 // still pending (i.e. the cancellation had effect). Cancelling an
 // already-fired or already-cancelled timer is a no-op.
 func (t *Timer) Cancel() bool {
-	if t.cancelled || t.fired || t.index < 0 && t.repeat == 0 {
+	if t.cancelled || t.fired || t.bkt == nil && t.repeat == 0 {
 		return false
 	}
 	t.cancelled = true
-	if t.index >= 0 {
-		t.sim.queue.remove(t.index)
-		t.index = -1
+	if t.bkt != nil {
+		t.sim.queue.remove(t)
 		return true
 	}
 	return false
@@ -255,10 +248,11 @@ func (t *Timer) Deadline() Time { return t.at }
 
 // Reschedule (re-)arms the timer to fire its function at absolute time at,
 // whether it is currently pending, already fired, cancelled, or fresh from
-// NewTimer. A pending timer is moved in place — one heap fix instead of
-// the remove-push pair of the Cancel-plus-After idiom, and no allocation
-// ever. Dispatch ordering matches a freshly scheduled event exactly: the
-// move takes a new tie-break sequence number.
+// NewTimer. A pending timer is moved in place — an O(1) bucket unlink and
+// re-append instead of the remove-push pair of the Cancel-plus-After
+// idiom, and no allocation ever. Dispatch ordering matches a freshly
+// scheduled event exactly: the move re-appends like a new push, so it
+// joins the FIFO tail of its deadline.
 func (t *Timer) Reschedule(at Time) {
 	s := t.sim
 	if at < s.now {
@@ -267,16 +261,12 @@ func (t *Timer) Reschedule(at Time) {
 	if t.pooled {
 		panic("sim: Reschedule on a pooled (no-handle) timer")
 	}
-	wasPending := t.index >= 0 && !t.cancelled && !t.fired
-	t.at = at
-	t.seq = s.seq
-	s.seq++
-	t.fired, t.cancelled = false, false
-	if wasPending {
-		s.queue.fix(t.index)
-	} else {
-		s.queue.push(t)
+	if t.bkt != nil {
+		s.queue.remove(t) // before t.at changes: removal recovers the slot from it
 	}
+	t.at = at
+	t.fired, t.cancelled = false, false
+	s.queue.push(t)
 }
 
 // RescheduleAfter re-arms the timer d from now. d must be non-negative.

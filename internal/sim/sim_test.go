@@ -372,14 +372,41 @@ func TestTimeConversions(t *testing.T) {
 }
 
 func BenchmarkScheduleDispatch(b *testing.B) {
+	// The steady-state scheduling hot path: the pooled no-handle family
+	// every per-event layer (medium completions, CTP retries) uses. Must
+	// stay 0 allocs/op — TestScheduleDispatchZeroAlloc pins it.
 	s := New(1)
 	fn := func() {}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.After(Time(i%1000)*Microsecond, fn)
+		s.Schedule(s.Now()+Time(i%1000)*Microsecond, fn)
 		if i%64 == 63 {
 			s.Run()
 		}
 	}
 	s.Run()
+}
+
+func TestScheduleDispatchZeroAlloc(t *testing.T) {
+	// Pin the scheduler hot path at zero allocations per schedule+dispatch
+	// so a regression (a closure creeping into Step, a Timer escaping the
+	// free list, wheel bookkeeping allocating) fails loudly. Warm the free
+	// list first: the very first pooled Timer is a real allocation.
+	s := New(1)
+	fn := func() {}
+	s.Schedule(s.Now(), fn)
+	s.Run()
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Schedule(s.Now()+Time(i%1000)*Microsecond, fn)
+		if i%64 == 63 {
+			s.Run()
+		}
+		i++
+	})
+	s.Run()
+	if allocs != 0 {
+		t.Fatalf("schedule+dispatch hot path allocates %.1f allocs/op, want 0", allocs)
+	}
 }

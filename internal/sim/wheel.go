@@ -1,0 +1,186 @@
+package sim
+
+import "math/bits"
+
+// eventQueue is a hierarchical timing wheel over the simulator's native
+// 1 ns tick. Eleven levels of 64 slots each cover the full non-negative
+// Time range (6 bits per level, 11*6 = 66 >= 63 significant bits), so the
+// top level plays the overflow role a bounded wheel would need a side list
+// for: anything too far out for the inner wheels — up to and including the
+// Never sentinel — parks there and cascades inward as the cursor advances.
+//
+// Placement: a timer lives at the level of the highest 6-bit group in
+// which its deadline differs from the cursor (level 0 if equal), in the
+// slot named by that group of the deadline. Because no queued deadline is
+// ever behind the cursor, levels order strictly — every timer at level k
+// fires before every timer at level k+1 — and within a level the occupied
+// slots are strictly ahead of the cursor's group, so the lowest set bit of
+// a level's occupancy bitmap names its earliest slot.
+//
+// The cursor advances only in pop, to the popped deadline — which the
+// Simulator adopts as now before dispatching, so a later push can never
+// need a slot behind the cursor (scheduling in the past panics). One
+// advance crosses at most one group boundary per level; only the bucket
+// the new cursor lands in at the highest crossed level can hold survivors
+// (anything in a lower-level bucket of the old window would have been
+// earlier than the popped minimum), so pop cascades exactly that one
+// bucket down and the wheel is exact again.
+//
+// Buckets are intrusive doubly-linked Timer lists: push appends in O(1),
+// cancellation and Reschedule unlink in O(1) with no tombstones. Append
+// order is push order, which makes same-deadline dispatch FIFO without a
+// sequence counter: equal deadlines always share a bucket at every level
+// (identical bits), cascades preserve list order, and a rescheduled timer
+// re-appends at the tail like a fresh push.
+type eventQueue struct {
+	cursor   Time
+	count    int
+	earliest *Timer // cached minimum; nil means unknown
+	occupied [wheelLevels]uint64
+	buckets  [wheelLevels][wheelSlots]bucket
+}
+
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = (63 + wheelBits - 1) / wheelBits // covers all non-negative Time
+)
+
+// bucket is one wheel slot: an intrusive doubly-linked list of Timers in
+// push order.
+type bucket struct {
+	head, tail *Timer
+}
+
+func (b *bucket) append(t *Timer) {
+	t.bkt, t.next, t.prev = b, nil, b.tail
+	if b.tail != nil {
+		b.tail.next = t
+	} else {
+		b.head = t
+	}
+	b.tail = t
+}
+
+func (b *bucket) unlink(t *Timer) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		b.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	} else {
+		b.tail = t.prev
+	}
+	t.bkt, t.next, t.prev = nil, nil, nil
+}
+
+// place returns the wheel coordinates for deadline at: the level of the
+// highest 6-bit group where at differs from the cursor, and at's group
+// value there. at must not be behind the cursor.
+func (q *eventQueue) place(at Time) (level, slot int) {
+	d := uint64(at ^ q.cursor)
+	if d != 0 {
+		level = (bits.Len64(d) - 1) / wheelBits
+	}
+	return level, int(uint64(at)>>(uint(level)*wheelBits)) & wheelMask
+}
+
+func (q *eventQueue) Len() int { return q.count }
+
+func (q *eventQueue) push(t *Timer) {
+	level, slot := q.place(t.at)
+	q.buckets[level][slot].append(t)
+	q.occupied[level] |= 1 << uint(slot)
+	q.count++
+	if q.earliest != nil && t.at < q.earliest.at {
+		q.earliest = t
+	}
+}
+
+// peek returns the earliest event without removing it, or nil if empty.
+func (q *eventQueue) peek() *Timer {
+	if q.count == 0 {
+		return nil
+	}
+	if q.earliest != nil {
+		return q.earliest
+	}
+	for level := 0; level < wheelLevels; level++ {
+		occ := q.occupied[level]
+		if occ == 0 {
+			continue
+		}
+		b := &q.buckets[level][bits.TrailingZeros64(occ)]
+		best := b.head
+		if level > 0 {
+			// Mixed-deadline bucket: scan for the earliest. List order
+			// is push order, so keeping the first of equals is FIFO.
+			for t := best.next; t != nil; t = t.next {
+				if t.at < best.at {
+					best = t
+				}
+			}
+		}
+		q.earliest = best
+		return best
+	}
+	return nil // unreachable: count > 0 implies an occupied slot
+}
+
+// pop removes and returns the earliest event, advancing the cursor to its
+// deadline and cascading the one bucket the advance can strand. It must
+// not be called on an empty queue.
+func (q *eventQueue) pop() *Timer {
+	t := q.peek()
+	q.remove(t)
+	prev := q.cursor
+	q.cursor = t.at
+	if d := uint64(prev ^ t.at); d != 0 {
+		if level := (bits.Len64(d) - 1) / wheelBits; level > 0 {
+			q.cascade(level, int(uint64(t.at)>>(uint(level)*wheelBits))&wheelMask)
+		}
+	}
+	return t
+}
+
+// cascade drains the bucket the advanced cursor landed in at the highest
+// crossed level: its timers now share that group with the cursor, so each
+// re-places at a strictly lower level. List order is preserved, keeping
+// same-deadline FIFO intact.
+func (q *eventQueue) cascade(level, slot int) {
+	b := &q.buckets[level][slot]
+	if b.head == nil {
+		return
+	}
+	q.occupied[level] &^= 1 << uint(slot)
+	t := b.head
+	b.head, b.tail = nil, nil
+	for t != nil {
+		next := t.next
+		l, s := q.place(t.at)
+		q.buckets[l][s].append(t)
+		q.occupied[l] |= 1 << uint(s)
+		t = next
+	}
+}
+
+// remove unlinks a queued timer in O(1). The caller must ensure t is
+// actually queued (t.bkt != nil).
+func (q *eventQueue) remove(t *Timer) {
+	b := t.bkt
+	b.unlink(t)
+	if b.head == nil {
+		// Recover the coordinates from the deadline rather than storing
+		// them: a queued timer's placement is a pure function of (at,
+		// cursor), and at hasn't changed since push.
+		level, slot := q.place(t.at)
+		q.occupied[level] &^= 1 << uint(slot)
+	}
+	q.count--
+	if t == q.earliest {
+		q.earliest = nil
+	}
+}

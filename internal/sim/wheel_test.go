@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Structural checks for the timing wheel plus the differential property
+// test that certified the heap-to-wheel swap: random interleavings of
+// Schedule/At/Reschedule/Cancel must dispatch in exactly the order the
+// old indexed binary heap produced — (deadline, scheduling order) — with
+// identical timestamps.
+
+// wheelInvariant walks every bucket and verifies the intrusive lists, the
+// occupancy bitmaps, the element count, and that each queued timer is in
+// the bucket its (deadline, cursor) placement names.
+func wheelInvariant(t *testing.T, q *eventQueue) {
+	t.Helper()
+	n := 0
+	for level := 0; level < wheelLevels; level++ {
+		for slot := 0; slot < wheelSlots; slot++ {
+			b := &q.buckets[level][slot]
+			occupied := q.occupied[level]&(1<<uint(slot)) != 0
+			if (b.head != nil) != occupied {
+				t.Fatalf("level %d slot %d: head=%v but occupancy bit=%v",
+					level, slot, b.head != nil, occupied)
+			}
+			var prev *Timer
+			for tm := b.head; tm != nil; tm = tm.next {
+				n++
+				if tm.bkt != b {
+					t.Fatalf("level %d slot %d: timer bkt pointer astray", level, slot)
+				}
+				if tm.prev != prev {
+					t.Fatalf("level %d slot %d: broken prev link", level, slot)
+				}
+				if l, s := q.place(tm.at); l != level || s != slot {
+					t.Fatalf("timer at %v placed in (%d,%d), belongs in (%d,%d) at cursor %v",
+						tm.at, level, slot, l, s, q.cursor)
+				}
+				if tm.at < q.cursor {
+					t.Fatalf("queued deadline %v behind cursor %v", tm.at, q.cursor)
+				}
+				prev = tm
+			}
+			if b.tail != prev {
+				t.Fatalf("level %d slot %d: tail astray", level, slot)
+			}
+		}
+	}
+	if n != q.count {
+		t.Fatalf("count = %d, found %d queued timers", q.count, n)
+	}
+}
+
+func fillWheel(times ...Time) *eventQueue {
+	q := &eventQueue{}
+	for _, at := range times {
+		q.push(&Timer{at: at, fn: func() {}})
+	}
+	return q
+}
+
+func drainTimes(q *eventQueue) []Time {
+	var out []Time
+	for q.Len() > 0 {
+		out = append(out, q.pop().at)
+	}
+	return out
+}
+
+func TestWheelDrainsSorted(t *testing.T) {
+	times := []Time{8, 3, 5, 1, 9, 2, 7, 4, 6,
+		Second, Minute, 3 * Hour, 90 * Hour, Never}
+	q := fillWheel(times...)
+	wheelInvariant(t, q)
+	got := drainTimes(q)
+	want := append([]Time(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWheelRemoveEveryElement(t *testing.T) {
+	// For each element of a spread of deadlines (same-window neighbours,
+	// cross-level, far-future), removal keeps the invariant and drains
+	// sorted without the removed deadline.
+	base := []Time{1, 2, 63, 64, 65, 4096, 4097, Second, Second + 1, Minute, 80 * Hour}
+	for pos := range base {
+		q := &eventQueue{}
+		var timers []*Timer
+		for _, at := range base {
+			tm := &Timer{at: at, fn: func() {}}
+			timers = append(timers, tm)
+			q.push(tm)
+		}
+		q.remove(timers[pos])
+		wheelInvariant(t, q)
+		got := drainTimes(q)
+		if len(got) != len(base)-1 {
+			t.Fatalf("pos %d: drained %d items", pos, len(got))
+		}
+		prev := Time(-1)
+		for _, at := range got {
+			if at == base[pos] {
+				t.Fatalf("pos %d: removed deadline %v still present", pos, at)
+			}
+			if at < prev {
+				t.Fatalf("pos %d: drain out of order: %v", pos, got)
+			}
+			prev = at
+		}
+	}
+}
+
+func TestWheelSameDeadlineFIFOAcrossCascade(t *testing.T) {
+	// Same-deadline timers pushed in order must pop in push order even
+	// when the deadline starts several levels up and cascades down.
+	q := &eventQueue{}
+	const at = 5*Second + 17
+	var want []*Timer
+	for i := 0; i < 10; i++ {
+		tm := &Timer{at: at, fn: func() {}}
+		want = append(want, tm)
+		q.push(tm)
+	}
+	q.push(&Timer{at: Second, fn: func() {}})
+	if got := q.pop().at; got != Second {
+		t.Fatalf("first pop at %v, want 1s", got)
+	}
+	wheelInvariant(t, q)
+	for i, w := range want {
+		if got := q.pop(); got != w {
+			t.Fatalf("pop %d: got timer at %v, not the %d-th pushed", i, got.at, i)
+		}
+	}
+}
+
+func TestWheelCursorRegressionAfterRunUntil(t *testing.T) {
+	// RunUntil advances now past events without popping up to the target;
+	// a subsequent push earlier than the earliest queued event — but after
+	// now — must still dispatch first. Guards the cursor-only-advances-
+	// on-pop design against a peek that moves the cursor.
+	s := New(1)
+	var order []Time
+	note := func() { order = append(order, s.Now()) }
+	s.At(10*Second, note)
+	s.RunUntil(2 * Second)
+	s.At(3*Second, note) // earlier than everything queued
+	s.Run()
+	if len(order) != 2 || order[0] != 3*Second || order[1] != 10*Second {
+		t.Fatalf("dispatch order = %v, want [3s 10s]", order)
+	}
+}
+
+// refEvent mirrors one scheduled event in the reference model: the old
+// heap's exact order contract, (deadline, scheduling sequence).
+type refEvent struct {
+	at  Time
+	seq int
+	id  int
+}
+
+// TestWheelMatchesHeapOrderDifferential drives a Simulator and a reference
+// priority model through identical random interleavings of the full
+// scheduling surface — At, pooled Schedule, NewTimer Reschedule, Cancel,
+// and partial drains — and demands identical dispatch sequences (ids and
+// timestamps). The reference reproduces the retired binary heap's
+// contract: sort by deadline, scheduling order breaking ties FIFO.
+func TestWheelMatchesHeapOrderDifferential(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		s := New(1)
+
+		type dispatch struct {
+			id int
+			at Time
+		}
+		var got []dispatch
+		record := func(id int) func() {
+			return func() { got = append(got, dispatch{id, s.Now()}) }
+		}
+
+		var ref []refEvent // pending events in the model
+		seq, nextID := 0, 0
+		var handles []*Timer // NewTimer/At handles eligible for Cancel/Reschedule
+		handleIDs := make(map[*Timer]int)
+
+		randomAt := func() Time {
+			// Deadlines spanning bucket neighbours, cross-level jumps, and
+			// far-future cascades.
+			switch rng.Intn(4) {
+			case 0:
+				return s.Now() + Time(rng.Intn(64))
+			case 1:
+				return s.Now() + Time(rng.Intn(5000))
+			case 2:
+				return s.Now() + Time(rng.Intn(int(2*Second)))
+			default:
+				return s.Now() + Time(rng.Intn(int(100*Hour)))
+			}
+		}
+		refRemove := func(id int) {
+			for i := range ref {
+				if ref[i].id == id {
+					ref = append(ref[:i], ref[i+1:]...)
+					return
+				}
+			}
+		}
+
+		for op := 0; op < 400; op++ {
+			switch c := rng.Intn(10); {
+			case c < 3: // At with a cancellable handle
+				at, id := randomAt(), nextID
+				nextID++
+				tm := s.At(at, record(id))
+				handles = append(handles, tm)
+				handleIDs[tm] = id
+				ref = append(ref, refEvent{at, seq, id})
+				seq++
+			case c < 6: // pooled fire-and-forget
+				at, id := randomAt(), nextID
+				nextID++
+				s.Schedule(at, record(id))
+				ref = append(ref, refEvent{at, seq, id})
+				seq++
+			case c < 7 && len(handles) > 0: // Cancel a random handle
+				tm := handles[rng.Intn(len(handles))]
+				if tm.Cancel() {
+					refRemove(handleIDs[tm])
+				}
+			case c < 8 && len(handles) > 0: // Reschedule a random handle
+				tm := handles[rng.Intn(len(handles))]
+				if !tm.Active() {
+					break // re-arming would re-dispatch an already-recorded id
+				}
+				at := randomAt()
+				tm.Reschedule(at)
+				refRemove(handleIDs[tm])
+				ref = append(ref, refEvent{at, seq, handleIDs[tm]})
+				seq++
+			default: // drain a few events
+				for i := 0; i < rng.Intn(8); i++ {
+					if !s.Step() {
+						break
+					}
+				}
+			}
+		}
+		s.Run()
+
+		sort.SliceStable(ref, func(i, j int) bool {
+			if ref[i].at != ref[j].at {
+				return ref[i].at < ref[j].at
+			}
+			return ref[i].seq < ref[j].seq
+		})
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: dispatched %d events, reference has %d", trial, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].id != ref[i].id || got[i].at != ref[i].at {
+				t.Fatalf("trial %d: dispatch %d = (id %d, %v), reference (id %d, %v)",
+					trial, i, got[i].id, got[i].at, ref[i].id, ref[i].at)
+			}
+		}
+	}
+}
