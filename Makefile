@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet tier1 bench bench-smoke bench-guard docs lint golden golden-check race-probe clean
+.PHONY: all build test vet tier1 bench bench-smoke bench-guard docs lint golden golden-check race-probe city-scale-smoke clean
 
 all: build
 
@@ -49,10 +49,23 @@ golden:
 
 # golden-check verifies the committed goldens match the current model (the
 # CI guard that a PR did not drift the model without regenerating — or
-# regenerate without saying so; either way the diff makes it visible).
+# regenerate without saying so; either way the diff makes it visible). It
+# also asserts every golden config still compiles to the dense channel
+# representation: the goldens certify the dense reference trajectories, so
+# a threshold change that silently flipped them to the sparse path would
+# hollow out what they certify.
 golden-check:
-	$(GO) test ./internal/experiment -run TestGoldenRunFingerprints -count=1
+	$(GO) test ./internal/experiment -run 'TestGoldenRunFingerprints|TestGoldenConfigsSelectDensePath' -count=1
 	$(GO) test ./internal/scenario -run TestGoldenTimelineFigure -count=1
+
+# city-scale-smoke boots the 2000-node city corridor preset over the
+# sparse audible-set channel under the race detector: representation pin
+# (sparse selected, dense for goldens) plus a short end-to-end run that
+# must form a tree and deliver traffic. The named CI step for the spatial
+# index; the 10k preset is covered by the cheap precompute-only pin.
+city-scale-smoke:
+	$(GO) test -race -count=1 -run 'TestCityPresetsSelectSparse|TestCityScaleSmoke' ./internal/scenario
+	$(GO) test -count=1 -run TestGoldenConfigsSelectDensePath ./internal/experiment
 
 # race-probe runs the probe-bus test surface under the race detector: the
 # bus itself is single-threaded per run, but many probed runs execute

@@ -2,12 +2,11 @@ package experiment
 
 import (
 	"flag"
-	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"testing"
 
+	"fourbit/internal/phy"
 	"fourbit/internal/sim"
 	"fourbit/internal/topo"
 )
@@ -45,30 +44,21 @@ func goldenConfigs() []RunConfig {
 	}
 }
 
-// hexf formats a float with its exact bit pattern so fingerprints cannot
-// hide sub-ulp drift behind decimal rounding.
-func hexf(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
-
-func fingerprint(rc RunConfig, res *Result) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "run proto=%v topo=%s seed=%d power=%s dur=%v\n",
-		rc.Protocol, rc.Topo.Name, rc.Seed, hexf(rc.TxPowerDBm), rc.Duration)
-	fmt.Fprintf(&b, "  generated=%d unique=%d dups=%d datatx=%d beacontx=%d events=%d detached=%d\n",
-		res.Generated, res.Unique, res.Duplicates, res.DataTx, res.BeaconTx, res.Events, res.Detached)
-	fmt.Fprintf(&b, "  delivery=%s cost=%s meandepth=%s meanhops=%s\n",
-		hexf(res.DeliveryRatio), hexf(res.Cost), hexf(res.MeanDepth), hexf(res.MeanHops))
-	fmt.Fprintf(&b, "  est=%d/%d/%d\n", res.EstInserted, res.EstReplaced, res.EstRejected)
-	fmt.Fprintf(&b, "  parents=%v\n", res.FinalParents)
-	fmt.Fprintf(&b, "  depths=%v\n", res.FinalDepths)
-	b.WriteString("  pernode=")
-	for i, v := range res.PerNodeDelivery {
-		if i > 0 {
-			b.WriteByte(' ')
+// TestGoldenConfigsSelectDensePath pins that every golden configuration
+// stays on the dense channel representation: the goldens certify the dense
+// reference trajectories, so if a threshold change ever flipped one of
+// them to the sparse path, the fingerprint comparison would silently start
+// certifying the wrong thing. (The sparse path has its own differential
+// harness against the dense one; this keeps the anchor fixed.)
+func TestGoldenConfigsSelectDensePath(t *testing.T) {
+	for _, rc := range goldenConfigs() {
+		cfg := resolveEnv(rc)
+		pre := phy.PrecomputeGeo(rc.Topo, cfg.Phy)
+		if pre.Sparse() {
+			t.Errorf("golden %s/%v selects the sparse representation; goldens must stay dense",
+				rc.Topo.Name, rc.Protocol)
 		}
-		b.WriteString(hexf(v))
 	}
-	b.WriteByte('\n')
-	return b.String()
 }
 
 func TestGoldenRunFingerprints(t *testing.T) {
@@ -77,7 +67,7 @@ func TestGoldenRunFingerprints(t *testing.T) {
 	}
 	var b strings.Builder
 	for _, rc := range goldenConfigs() {
-		b.WriteString(fingerprint(rc, Run(rc)))
+		b.WriteString(Fingerprint(rc, Run(rc)))
 	}
 	got := b.String()
 

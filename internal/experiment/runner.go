@@ -54,8 +54,7 @@ func shareChannelPre(rcs []RunConfig) []RunConfig {
 		k := cellKey{out[i].Topo, cfg.Phy}
 		pre, ok := pres[k]
 		if !ok {
-			dist, extra := out[i].Topo.Matrices()
-			pre = phy.Precompute(dist, extra, cfg.Phy)
+			pre = phy.PrecomputeGeo(out[i].Topo, cfg.Phy)
 			pres[k] = pre
 		}
 		cfg.ChanPre = pre

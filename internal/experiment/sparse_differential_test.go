@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"testing"
+
+	"fourbit/internal/node"
+	"fourbit/internal/phy"
+	"fourbit/internal/sim"
+	"fourbit/internal/topo"
+)
+
+// TestSparseDenseRunFingerprintsIdentical is the run-level differential
+// harness for the spatial audible-set index: full protocol-stack runs over
+// random topologies at different transmit powers, with and without
+// scripted dynamics, executed once on the culled (sparse) channel and once
+// on the exhaustive (dense) one. The bit-exact fingerprints — every metric
+// down to the last mantissa bit, per-node — must be byte-identical: the
+// sparse representation is a certified-exact rewrite, not an
+// approximation, the same contract the PR 6 wheel-vs-heap differential
+// pinned for the scheduler.
+func TestSparseDenseRunFingerprintsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("minutes of simulated time over >100-node topologies; skipped in -short")
+	}
+
+	type tcase struct {
+		name     string
+		tp       *topo.Topology
+		powerDBm float64
+		dynamics bool
+	}
+	cases := []tcase{
+		{"uniform-140", topo.UniformRandom(140, 260, 260, 21), 0, false},
+		{"clustered-120", topo.Clustered(120, 6, 300, 200, 25, 22), -7, true},
+		{"corridor-130", topo.Corridor(130, 400, 30, 23), -4, true},
+	}
+
+	for _, tc := range cases {
+		run := func(sparseAbove int) string {
+			envCfg := node.DefaultEnvConfig(uint64(9000), tc.powerDBm)
+			envCfg.Phy.SparseAboveN = sparseAbove
+			rc := DefaultRunConfig(Proto4B, tc.tp, 9000)
+			rc.TxPowerDBm = tc.powerDBm
+			rc.Duration = 60 * sim.Second
+			rc.Warmup = 15 * sim.Second
+			rc.SampleEvery = 15 * sim.Second
+			rc.Env = &envCfg
+			if tc.dynamics {
+				rc.EnvMutate = func(env *node.Env) {
+					// Interference onset at one receiver, a bursty loss on
+					// one link, and a mid-run node death — scripted
+					// identically under both representations.
+					env.Chan.AddNoiseModifier(5, phy.NewGilbertElliott(25,
+						3*sim.Millisecond, 12*sim.Millisecond,
+						sim.NewRand(71)).Window(20*sim.Second, sim.Hour))
+					env.Chan.SetModifierBoth(3, 7, phy.NewGilbertElliott(35,
+						4*sim.Millisecond, 15*sim.Millisecond,
+						sim.NewRand(72)).Window(25*sim.Second, sim.Hour))
+					env.Clock.At(35*sim.Second, func() {
+						env.Medium.Radio(11).SetDown(true)
+					})
+				}
+			}
+			res := Run(rc)
+			return Fingerprint(rc, res)
+		}
+		sparse := run(1)
+		dense := run(-1)
+		if sparse != dense {
+			t.Errorf("%s: culled and exhaustive runs diverged\nsparse:\n%s\ndense:\n%s",
+				tc.name, sparse, dense)
+		}
+	}
+}

@@ -33,7 +33,7 @@ func TestTimelineMatchesAggregates(t *testing.T) {
 	}
 	// Identical trajectory: the full fingerprint (every float to the last
 	// bit) must match the unprobed run.
-	fpPlain, fpProbed := fingerprint(timelineTestConfig(3), plain), fingerprint(rc, probed)
+	fpPlain, fpProbed := Fingerprint(timelineTestConfig(3), plain), Fingerprint(rc, probed)
 	if fpPlain != fpProbed {
 		t.Errorf("timeline collection changed the run:\nplain:\n%s\nprobed:\n%s", fpPlain, fpProbed)
 	}

@@ -75,8 +75,11 @@ func NewEnv(t *topo.Topology, cfg EnvConfig) *Env {
 		}
 		ch = cfg.ChanPre.NewChannel(seeds)
 	} else {
-		dist, extra := t.Matrices()
-		ch = phy.NewChannel(dist, extra, cfg.Phy, seeds)
+		// PrecomputeGeo works from per-pair geometry accessors, so a
+		// city-scale topology never materializes O(n²) distance matrices;
+		// below the sparse threshold it is bit-identical to the historical
+		// Matrices+NewChannel path.
+		ch = phy.PrecomputeGeo(t, cfg.Phy).NewChannel(seeds)
 	}
 	med := phy.NewMedium(clock, ch, cfg.Radio, cfg.LQI, seeds)
 	for i := 0; i < med.N(); i++ {

@@ -50,6 +50,21 @@ type Params struct {
 	// low draw are rare, so received packets systematically report better
 	// channel quality than the link average.
 	PacketJitterSigmaDB float64
+	// SparseAboveN selects the sparse audible-set representation (see
+	// spatial.go) for networks of at least this many nodes, replacing the
+	// dense n×n gain/fade/modifier arrays with a per-node CSR over links
+	// whose static gain clears AudibleFloorDB. Zero means
+	// DefaultSparseAboveN; negative disables the sparse path entirely.
+	// Representation choice never changes results — the differential
+	// tests pin byte-identical trajectories either way.
+	SparseAboveN int
+	// AudibleFloorDB is the static-gain storage floor of the sparse
+	// representation in dB (a large negative number). Zero means
+	// DefaultAudibleFloorDB, which sits a guard band below the weakest
+	// signal the medium's detection threshold could ever admit. NewMedium
+	// rejects a sparse channel whose floor is too high for the radio's
+	// configured detection threshold.
+	AudibleFloorDB float64
 }
 
 // DefaultParams returns the indoor-office parameterization used by the
@@ -92,13 +107,30 @@ type Channel struct {
 	p Params
 	n int
 
-	staticGainDB []float64         // n*n: path loss + shadowing + tx offset, tx→rx
+	staticGainDB []float64         // dense: n*n path loss + shadowing + tx offset, tx→rx
 	noiseFigDB   []float64         // per node
 	noiseDrift   []ouState         // per node
-	fade         []ouState         // per directed link (symmetric fading: see below)
+	fade         []ouState         // dense: per unordered pair at [a*n+b], a<b; sparse: per stored pair
 	bursts       []*GilbertElliott // per-node noise bursts (nil if disabled)
-	modifiers    []LinkModifier
-	noiseMods    [][]LinkModifier // per-node scripted noise excursions (nil if unused)
+	modifiers    []LinkModifier    // dense: n*n scripted link-loss slots
+	noiseMods    [][]LinkModifier  // per-node scripted noise excursions (nil if unused)
+
+	// Sparse audible-set representation (see spatial.go), active instead
+	// of the dense arrays when sparse is true: a symmetric CSR over the
+	// stored directed links. adjNbr[adjOff[i]:adjOff[i+1]] lists i's
+	// audible neighbors ascending; the parallel arrays carry the directed
+	// static gain (dB and linear) and the pair's index into fade. Culled
+	// links read as gain −Inf (0 linear) and hold no state at all — no
+	// fading process, no modifier slot. modMap replaces the dense
+	// modifiers array (scripted dynamics touch a handful of links; a map
+	// beats 800 MB of nil slots at 10k nodes).
+	sparse     bool
+	adjOff     []int32
+	adjNbr     []int32
+	adjGainDB  []float64
+	adjGainLin []float64
+	adjPair    []int32
+	modMap     map[int64]LinkModifier
 
 	// Linear-domain mirrors of the static model, precomputed once so the
 	// per-frame path (GainLin, NoiseMW) converts only the time-varying dB
@@ -165,6 +197,21 @@ type ChannelPre struct {
 	// extraDB is a defensive copy of the static obstruction loss per
 	// unordered pair ([i*n+j], i < j); nil when the topology had none.
 	extraDB []float64
+
+	// Sparse near-pair geometry (see spatial.go), replacing basePL/extraDB
+	// when sparse is true: a CSR over unordered pairs within the cutoff
+	// radius (row i lists j > i ascending) with each pair's deterministic
+	// path loss and obstruction loss, plus the retained Geometry for the
+	// rare beyond-cutoff pair whose shadowing draw defeats the certified
+	// bound plAtCutoff.
+	sparse     bool
+	geo        Geometry
+	cutoffM    float64
+	plAtCutoff float64
+	nearOff    []int32
+	nearNbr    []int32
+	nearPL     []float64
+	nearExtra  []float64
 }
 
 // precomputeCount counts Precompute invocations process-wide. It exists so
@@ -219,15 +266,12 @@ func (pre *ChannelPre) NewChannel(seeds *sim.SeedSpace) *Channel {
 	n := pre.n
 	p := pre.p
 	c := &Channel{
-		p:            p,
-		n:            n,
-		staticGainDB: make([]float64, n*n),
-		noiseFigDB:   make([]float64, n),
-		noiseDrift:   make([]ouState, n),
-		fade:         make([]ouState, n*n),
-		modifiers:    make([]LinkModifier, n*n),
-		noiseRng:     seeds.Stream("phy/noise"),
-		fadeRng:      seeds.Stream("phy/fade"),
+		p:          p,
+		n:          n,
+		noiseFigDB: make([]float64, n),
+		noiseDrift: make([]ouState, n),
+		noiseRng:   seeds.Stream("phy/noise"),
+		fadeRng:    seeds.Stream("phy/fade"),
 	}
 	static := seeds.Stream("phy/static")
 	txOff := make([]float64, n)
@@ -236,30 +280,42 @@ func (pre *ChannelPre) NewChannel(seeds *sim.SeedSpace) *Channel {
 		c.noiseFigDB[i] = static.Normal(0, p.NoiseFigSigmaDB)
 	}
 	if p.NoiseBurstAmpDB > 0 && p.NoiseBurstMeanOn > 0 && p.NoiseBurstMeanOff > 0 {
+		// One backing array, not n heap objects: NoiseMW touches bursts[rx]
+		// once per receiver per reception, in receiver order — contiguous
+		// processes keep that sweep inside a few pages at city scale.
 		c.bursts = make([]*GilbertElliott, n)
+		backing := make([]GilbertElliott, n)
 		for i := 0; i < n; i++ {
-			c.bursts[i] = NewGilbertElliott(p.NoiseBurstAmpDB,
+			backing[i] = *NewGilbertElliott(p.NoiseBurstAmpDB,
 				p.NoiseBurstMeanOff, p.NoiseBurstMeanOn,
-				seeds.Stream(fmt.Sprintf("phy/burst/%d", i))).SharedDecay(&c.burstCo)
+				seeds.Stream(fmt.Sprintf("phy/burst/%d", i)))
+			c.bursts[i] = backing[i].SharedDecay(&c.burstCo)
 		}
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			pl := pre.basePL[i*n+j]
-			pl += static.Normal(0, p.ShadowSigmaDB)
-			if pre.extraDB != nil {
-				pl += pre.extraDB[i*n+j]
+	if pre.sparse {
+		pre.newSparse(c, static, txOff)
+	} else {
+		c.staticGainDB = make([]float64, n*n)
+		c.fade = make([]ouState, n*n)
+		c.modifiers = make([]LinkModifier, n*n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pl := pre.basePL[i*n+j]
+				pl += static.Normal(0, p.ShadowSigmaDB)
+				if pre.extraDB != nil {
+					pl += pre.extraDB[i*n+j]
+				}
+				// Environment loss is symmetric; asymmetry enters through
+				// the transmitter's power offset (receiver noise figure is
+				// applied on the noise side).
+				c.staticGainDB[i*n+j] = -pl + txOff[i]
+				c.staticGainDB[j*n+i] = -pl + txOff[j]
 			}
-			// Environment loss is symmetric; asymmetry enters through the
-			// transmitter's power offset (receiver noise figure is applied
-			// on the noise side).
-			c.staticGainDB[i*n+j] = -pl + txOff[i]
-			c.staticGainDB[j*n+i] = -pl + txOff[j]
 		}
-	}
-	c.staticGainLin = make([]float64, n*n)
-	for i, g := range c.staticGainDB {
-		c.staticGainLin[i] = DBToLinear(g)
+		c.staticGainLin = make([]float64, n*n)
+		for i, g := range c.staticGainDB {
+			c.staticGainLin[i] = DBToLinear(g)
+		}
 	}
 	c.noiseMWStatic = make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -288,8 +344,30 @@ func (c *Channel) PacketJitterSigmaDB() float64 { return c.p.PacketJitterSigmaDB
 
 // GainDB returns the instantaneous channel gain from tx to rx at time t,
 // including static path loss/shadowing/hardware offsets, time-varying
-// fading, and any installed link modifier. Gain is negative (a loss).
+// fading, and any installed link modifier. Gain is negative (a loss). On a
+// sparse channel a culled link reads as −Inf without sampling anything:
+// no fading state exists for it, and no modifier can resurrect it (the
+// link was certified inaudible at its best; scripted dynamics only ever
+// add loss on top).
 func (c *Channel) GainDB(tx, rx int, t sim.Time) float64 {
+	if c.sparse {
+		slot := c.slotOf(tx, rx)
+		if slot < 0 {
+			return math.Inf(-1)
+		}
+		g := c.adjGainDB[slot]
+		if c.p.FadeSigmaDB > 0 {
+			// Fading is a property of the physical path: one process per
+			// stored unordered pair, so the two directions fade together.
+			g += c.fade[c.adjPair[slot]].sample(t, c.p.FadeTau, c.p.FadeSigmaDB, c.fadeRng, &c.fadeCo)
+		}
+		if c.linkModCount > 0 {
+			if m := c.modMap[int64(tx)*int64(c.n)+int64(rx)]; m != nil {
+				g -= m.ExtraLossDB(t)
+			}
+		}
+		return g
+	}
 	g := c.staticGainDB[tx*c.n+rx]
 	if c.p.FadeSigmaDB > 0 {
 		// Fading is a property of the physical path: use one process per
@@ -312,6 +390,13 @@ func (c *Channel) GainDB(tx, rx int, t sim.Time) float64 {
 // 0, maintained by SetModifier) the modifier layer — an n²-slot pointer
 // load per query — is skipped entirely.
 func (c *Channel) GainLin(tx, rx int, t sim.Time) float64 {
+	if c.sparse {
+		slot := c.slotOf(tx, rx)
+		if slot < 0 {
+			return 0
+		}
+		return c.gainLinSlot(tx, rx, slot, t)
+	}
 	idx := tx*c.n + rx
 	g := c.staticGainLin[idx]
 	varDB := 0.0
@@ -337,8 +422,17 @@ func (c *Channel) fadeState(a, b int) *ouState {
 }
 
 // StaticGainDB returns the time-invariant part of the link gain, used for
-// neighbor-candidate pruning and for topology reports.
-func (c *Channel) StaticGainDB(tx, rx int) float64 { return c.staticGainDB[tx*c.n+rx] }
+// neighbor-candidate pruning and for topology reports. Culled links on a
+// sparse channel read as −Inf.
+func (c *Channel) StaticGainDB(tx, rx int) float64 {
+	if c.sparse {
+		if slot := c.slotOf(tx, rx); slot >= 0 {
+			return c.adjGainDB[slot]
+		}
+		return math.Inf(-1)
+	}
+	return c.staticGainDB[tx*c.n+rx]
+}
 
 // NoiseDBm returns the instantaneous noise floor at rx, including slow
 // drift and external interference bursts.
@@ -395,6 +489,29 @@ func (c *Channel) SetModifier(tx, rx int, m LinkModifier) {
 	if tx < 0 || tx >= c.n || rx < 0 || rx >= c.n {
 		panic(fmt.Sprintf("phy: SetModifier(%d,%d) out of range n=%d", tx, rx, c.n))
 	}
+	if c.sparse {
+		// Modifiers are honored on stored links only: a culled link has no
+		// state and reads −Inf regardless, and a loss process can never
+		// raise a gain that was certified inaudible at its ceiling. The
+		// map is keyed by the directed index; it stays tiny (scripted
+		// dynamics touch a handful of links).
+		key := int64(tx)*int64(c.n) + int64(rx)
+		switch old := c.modMap[key]; {
+		case old == nil && m != nil:
+			c.linkModCount++
+		case old != nil && m == nil:
+			c.linkModCount--
+		}
+		if m == nil {
+			delete(c.modMap, key)
+			return
+		}
+		if c.modMap == nil {
+			c.modMap = make(map[int64]LinkModifier)
+		}
+		c.modMap[key] = m
+		return
+	}
 	idx := tx*c.n + rx
 	switch old := c.modifiers[idx]; {
 	case old == nil && m != nil:
@@ -431,5 +548,5 @@ func (c *Channel) AddNoiseModifier(rx int, m LinkModifier) {
 // sent at txPowerDBm from tx to rx — the planning value used by topology
 // diagnostics and tests.
 func (c *Channel) ExpectedSNRdB(tx, rx int, txPowerDBm float64) float64 {
-	return txPowerDBm + c.staticGainDB[tx*c.n+rx] - (c.p.NoiseFloorDBm + c.noiseFigDB[rx])
+	return txPowerDBm + c.StaticGainDB(tx, rx) - (c.p.NoiseFloorDBm + c.noiseFigDB[rx])
 }

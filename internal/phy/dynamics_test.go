@@ -1,9 +1,12 @@
 package phy
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"fourbit/internal/sim"
+	"fourbit/internal/topo"
 )
 
 // Scenario dynamics rest on two phy primitives: a radio that can be powered
@@ -116,5 +119,153 @@ func TestNoiseModifierDrownsReception(t *testing.T) {
 	clock.Run()
 	if delivered != 10 {
 		t.Fatalf("delivered %d frames, want the 10 before interference onset", delivered)
+	}
+}
+
+// TestSparseCulledLinkImmuneToDynamics pins the spatial index's contract
+// under scripted dynamics: a link the audibility culling removed has no
+// state, so no installed modifier — not even a (physically impossible)
+// negative "loss" that would amplify the link, nor a noise excursion
+// lowering the receiver's floor — can resurrect it. The link was certified
+// inaudible at its best-case power; dynamics operate strictly within that
+// certificate.
+func TestSparseCulledLinkImmuneToDynamics(t *testing.T) {
+	clock := sim.New(6)
+	// Two tight clusters 3 km apart: intra-cluster links are strong by a
+	// huge margin, inter-cluster links are inaudible by an equally huge
+	// one — no seed can flip either.
+	tp := &topo.Topology{Name: "twoclusters"}
+	for i := 0; i < 4; i++ {
+		tp.Positions = append(tp.Positions, topo.Point{X: float64(i) * 5})
+	}
+	for i := 0; i < 4; i++ {
+		tp.Positions = append(tp.Positions, topo.Point{X: 3000 + float64(i)*5})
+	}
+	p := sparseTestParams()
+	p.SparseAboveN = 1
+	seeds := sim.NewSeedSpace(6)
+	ch := PrecomputeGeo(tp, p).NewChannel(seeds)
+	if !ch.Sparse() {
+		t.Fatal("expected sparse representation")
+	}
+	if ch.slotOf(0, 7) >= 0 {
+		t.Fatal("link (0,7) at 3 km unexpectedly audible")
+	}
+	if ch.slotOf(0, 1) < 0 {
+		t.Fatal("adjacent link (0,1) unexpectedly culled")
+	}
+	m := NewMedium(clock, ch, DefaultRadioParams(), DefaultLQIParams(), seeds)
+
+	// Try everything: a gain-side "modifier" that would add 100 dB to the
+	// culled link, and a noise excursion dropping the far receiver's floor.
+	ch.SetModifierBoth(0, 7, constLoss(-100))
+	ch.AddNoiseModifier(7, constLoss(-40))
+	if g := ch.GainDB(0, 7, sim.Second); !math.IsInf(g, -1) {
+		t.Fatalf("culled link gain %v after modifier, want -Inf", g)
+	}
+	if g := ch.GainLin(0, 7, sim.Second); g != 0 {
+		t.Fatalf("culled link linear gain %v after modifier, want 0", g)
+	}
+
+	far, near := 0, 0
+	m.Radio(7).OnReceive(func([]byte, RxInfo) { far++ })
+	m.Radio(1).OnReceive(func([]byte, RxInfo) { near++ })
+	for i := 0; i < 50; i++ {
+		at := sim.Time(i) * 10 * sim.Millisecond
+		clock.At(at, func() { m.Radio(0).Transmit(make([]byte, 20)) })
+	}
+	clock.Run()
+	if far != 0 {
+		t.Fatalf("culled receiver got %d frames after scripted dynamics", far)
+	}
+	if near == 0 {
+		t.Fatal("audible neighbor received nothing; medium degenerate")
+	}
+	// Clearing the modifier keeps the bookkeeping balanced (the gain fast
+	// path may skip the modifier layer again).
+	ch.SetModifierBoth(0, 7, nil)
+	if ch.linkModCount != 0 {
+		t.Fatalf("linkModCount %d after clearing all modifiers", ch.linkModCount)
+	}
+}
+
+// TestDynamicsSparseDenseIdentical runs the full scripted-dynamics
+// repertoire — interference onset via AddNoiseModifier, a Gilbert–Elliott
+// loss process installed with SetModifier on a live link, and a mid-run
+// node death — over both channel representations and requires
+// byte-identical trajectories. Dynamics must neither resurrect culled
+// links nor perturb the shared random streams differently per
+// representation.
+func TestDynamicsSparseDenseIdentical(t *testing.T) {
+	const n = 200
+	tp := topo.UniformRandom(n, 380, 380, 5)
+	p := sparseTestParams()
+
+	// The scripted link: node 0 and its geometrically nearest neighbor
+	// (identical under both representations, and audible with near
+	// certainty at this density).
+	target, bestD := -1, math.Inf(1)
+	for j := 1; j < n; j++ {
+		if d := tp.Distance(0, j); d < bestD {
+			target, bestD = j, d
+		}
+	}
+
+	run := func(sparseAbove int) (string, MediumStats) {
+		pp := p
+		pp.SparseAboveN = sparseAbove
+		clock := sim.New(77)
+		seeds := sim.NewSeedSpace(77)
+		ch := PrecomputeGeo(tp, pp).NewChannel(seeds)
+		if got, want := ch.Sparse(), sparseAbove > 0; got != want {
+			t.Fatalf("Sparse() = %v, want %v", got, want)
+		}
+		m := NewMedium(clock, ch, DefaultRadioParams(), DefaultLQIParams(), seeds)
+
+		// Scripted dynamics, identical in both runs: a 40 dB bursty loss
+		// on the 0↔target link from 300 ms, interference onset at the
+		// target from 600 ms, and node n/2 dying at 900 ms.
+		ch.SetModifierBoth(0, target, NewGilbertElliott(40, 5*sim.Millisecond, 20*sim.Millisecond,
+			sim.NewRand(501)).Window(300*sim.Millisecond, sim.Hour))
+		ch.AddNoiseModifier(target, NewGilbertElliott(30, 2*sim.Millisecond, 10*sim.Millisecond,
+			sim.NewRand(502)).Window(600*sim.Millisecond, sim.Hour))
+		clock.At(900*sim.Millisecond, func() { m.Radio(n / 2).SetDown(true) })
+
+		var log []byte
+		for i := 0; i < n; i++ {
+			rx := i
+			m.Radio(i).OnReceive(func(data []byte, info RxInfo) {
+				log = append(log, fmt.Sprintf("%d %d %d %x %d\n",
+					rx, data[0], info.At, math.Float64bits(info.SNRdB), info.LQI)...)
+			})
+		}
+		for i := 0; i < n; i++ {
+			id := i
+			frame := make([]byte, 30)
+			frame[0] = byte(id)
+			phase := sim.Time(id) * sim.Millisecond / 6
+			for k := 0; k < 30; k++ {
+				clock.Schedule(sim.Time(k)*50*sim.Millisecond+phase, func() {
+					if !m.Radio(id).Transmitting() && !m.Radio(id).Down() {
+						m.Radio(id).Transmit(frame)
+					}
+				})
+			}
+		}
+		clock.RunUntil(1500 * sim.Millisecond)
+		return string(log), m.Stats
+	}
+
+	logS, statsS := run(1)
+	logD, statsD := run(-1)
+	if statsS != statsD {
+		t.Fatalf("stats diverge under dynamics:\nsparse %+v\ndense  %+v", statsS, statsD)
+	}
+	if logS != logD {
+		t.Fatalf("trajectories diverge under dynamics (sparse %d bytes, dense %d bytes)",
+			len(logS), len(logD))
+	}
+	if statsS.Delivered == 0 {
+		t.Fatalf("degenerate run: %+v", statsS)
 	}
 }

@@ -14,10 +14,15 @@ import (
 // transition density between two sample times has the closed form
 //
 //	X(t+dt) = X(t)·e^(−dt/τ) + N(0, σ²·(1 − e^(−2dt/τ)))
+//
+// The struct is deliberately 16 bytes: a sparse channel holds one per
+// stored pair and samples them in data-dependent order, so the array is
+// sized and accessed like a hash table — lastPlus1 packs the "ever
+// sampled" flag into the timestamp (0 = never; otherwise sample time + 1)
+// to avoid a padded bool widening every state by half a cache line.
 type ouState struct {
-	value float64
-	last  sim.Time
-	init  bool
+	value     float64
+	lastPlus1 sim.Time // 0 = uninitialized; else last sample time + 1
 }
 
 const (
@@ -53,13 +58,12 @@ func (o *ouState) sample(t sim.Time, tau sim.Time, sigma float64, rng *sim.Rand,
 	if sigma == 0 || tau <= 0 {
 		return 0
 	}
-	if !o.init {
+	if o.lastPlus1 == 0 {
 		o.value = rng.Normal(0, sigma)
-		o.last = t
-		o.init = true
+		o.lastPlus1 = t + 1
 		return o.value
 	}
-	dt := t - o.last
+	dt := t - (o.lastPlus1 - 1)
 	if dt <= 0 {
 		return o.value
 	}
@@ -69,7 +73,7 @@ func (o *ouState) sample(t sim.Time, tau sim.Time, sigma float64, rng *sim.Rand,
 		co.dt[i], co.decay[i], co.diff[i] = dt, a, sigma*math.Sqrt(1-a*a)
 	}
 	o.value = o.value*co.decay[i] + rng.Normal(0, co.diff[i])
-	o.last = t
+	o.lastPlus1 = t + 1
 	return o.value
 }
 

@@ -49,7 +49,8 @@ type Medium struct {
 	rng    *sim.Rand
 
 	active     []*transmission
-	candidates [][]int // per transmitter: receivers within detection range
+	candidates [][]int32 // per transmitter: receivers within detection range
+	candSlots  [][]int32 // sparse channel only: adjacency slot per candidate
 
 	// Hot-path caches: the radio parameters converted to linear once, the
 	// running interference sum per receiver (maintained incrementally as
@@ -60,6 +61,7 @@ type Medium struct {
 	sensMW     float64
 	ccaMW      float64
 	interfMW   []float64
+	powCap     int // max candidate-set size: length of pooled powMW buffers
 	powFree    [][]float64
 	txFree     []*transmission // recycled transmission records
 	finishFn   func(any)       // m.finishTx adapter, built once for ScheduleArg
@@ -86,7 +88,7 @@ type transmission struct {
 	powerDBm float64
 	end      sim.Time
 	idx      int       // position in Medium.active, for O(1) removal
-	powMW    []float64 // received power per node; 0 = undetectable
+	powMW    []float64 // received power per candidate (sender's candidate order); 0 = undetectable
 }
 
 type reception struct {
@@ -113,24 +115,46 @@ func NewMedium(clock *sim.Simulator, ch *Channel, rp RadioParams, lqip LQIParams
 	m.sensMW = DBmToMilliwatts(rp.SensitivityDBm)
 	m.ccaMW = DBmToMilliwatts(rp.CCAThresholdDBm)
 	m.interfMW = make([]float64, n)
+	// One contiguous backing array for the radios: the per-candidate hot
+	// loops chase radios[j] for scattered j, and spreading n individually
+	// allocated structs across the heap costs a cache miss per visit at
+	// city scale.
 	m.radios = make([]*Radio, n)
+	backing := make([]Radio, n)
 	for i := 0; i < n; i++ {
-		m.radios[i] = &Radio{m: m, id: i}
+		backing[i] = Radio{m: m, id: i}
+		m.radios[i] = &backing[i]
 		m.radios[i].SetTxPower(rp.DefaultTxPowerDBm)
 	}
-	// Candidate receivers: static gain at maximum plausible power plus a
-	// fade margin must clear the detection floor. The margin is generous so
-	// that fading can only shrink, never grow, the true receiver set.
-	const maxPowerDBm, fadeMarginDB = 1, 14
-	m.candidates = make([][]int, n)
+	// Candidate receivers: static gain at maximum plausible power
+	// (audibleMaxTxPowerDBm) plus a fade margin (audibleFadeMarginDB) must
+	// clear the detection floor. The margin is generous so that fading can
+	// only shrink, never grow, the true receiver set. The channel's
+	// representation supplies the links to filter: the dense path offers
+	// every pair, the sparse one only its stored audible set — which must
+	// therefore floor at or below what this filter could admit, or culling
+	// would change results. The filter expression itself is identical
+	// either way, applied to identical static-gain values.
+	if ch.Sparse() {
+		need := rp.DetectionDBm - audibleMaxTxPowerDBm - audibleFadeMarginDB
+		if floor := ch.AudibleFloorDB(); floor > need-0.25 {
+			panic(fmt.Sprintf("phy: sparse channel floor %.2f dB too high for detection threshold %.2f dBm (needs <= %.2f)",
+				floor, rp.DetectionDBm, need-0.25))
+		}
+		m.candSlots = make([][]int32, n)
+	}
+	m.candidates = make([][]int32, n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
+		ch.ForEachAudible(i, func(j int, slot int32, gainDB float64) {
+			if audibleMaxTxPowerDBm+gainDB+audibleFadeMarginDB >= rp.DetectionDBm {
+				m.candidates[i] = append(m.candidates[i], int32(j))
+				if m.candSlots != nil {
+					m.candSlots[i] = append(m.candSlots[i], slot)
+				}
 			}
-			if maxPowerDBm+ch.StaticGainDB(i, j)+fadeMarginDB >= rp.DetectionDBm {
-				m.candidates[i] = append(m.candidates[i], j)
-			}
+		})
+		if len(m.candidates[i]) > m.powCap {
+			m.powCap = len(m.candidates[i])
 		}
 	}
 	return m
@@ -157,8 +181,10 @@ func (m *Medium) noiseMW(id int) float64 {
 	return m.ch.NoiseMW(id, m.clock.Now())
 }
 
-// getPowBuf returns a zeroed per-transmission received-power buffer, reusing
-// a pooled one when available. finishTx releases buffers back via putPowBuf;
+// getPowBuf returns a zeroed per-transmission received-power buffer sized
+// for the largest candidate set (indexed by candidate position, so it stays
+// cache-resident at city scale instead of spanning all n nodes), reusing a
+// pooled one when available. finishTx releases buffers back via putPowBuf;
 // no reference to a buffer survives its transmission (receptions of a frame
 // are all resolved inside that frame's finishTx).
 func (m *Medium) getPowBuf() []float64 {
@@ -167,7 +193,7 @@ func (m *Medium) getPowBuf() []float64 {
 		m.powFree = m.powFree[:n-1]
 		return b
 	}
-	return make([]float64, len(m.radios))
+	return make([]float64, m.powCap)
 }
 
 func (m *Medium) putPowBuf(b []float64) { m.powFree = append(m.powFree, b) }
@@ -248,12 +274,26 @@ func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
 		m.onTransmit(r.id, data)
 	}
 
-	for _, j := range m.candidates[r.id] {
-		pmw := r.txPowMW * m.ch.GainLin(r.id, j, now)
+	cands := m.candidates[r.id]
+	var slots []int32
+	if m.candSlots != nil {
+		slots = m.candSlots[r.id]
+	}
+	for ci, j32 := range cands {
+		j := int(j32)
+		// Both branches sample the same per-pair fading process at the same
+		// instant in the same (ascending-j) order; the slot variant only
+		// skips the adjacency row search.
+		var pmw float64
+		if slots != nil {
+			pmw = r.txPowMW * m.ch.gainLinSlot(r.id, j, slots[ci], now)
+		} else {
+			pmw = r.txPowMW * m.ch.GainLin(r.id, j, now)
+		}
 		if pmw < m.detectMW {
 			continue
 		}
-		t.powMW[j] = pmw
+		t.powMW[ci] = pmw
 		m.interfMW[j] += pmw
 		rj := m.radios[j]
 		switch {
@@ -304,12 +344,13 @@ func (m *Medium) finishTx(t *transmission) {
 	sender.transmitting = false
 
 	now := m.clock.Now()
-	for _, j := range m.candidates[t.from] {
-		pmw := t.powMW[j]
+	for ci, j32 := range m.candidates[t.from] {
+		j := int(j32)
+		pmw := t.powMW[ci]
 		if pmw == 0 {
 			continue
 		}
-		t.powMW[j] = 0
+		t.powMW[ci] = 0
 		m.interfMW[j] -= pmw
 		if m.interfMW[j] < 0 {
 			m.interfMW[j] = 0 // rounding drift from the incremental sum
@@ -452,8 +493,8 @@ func (r *Radio) Receiving() bool { return r.rx != nil }
 // all active signals) is below the CCA threshold and the radio itself is
 // neither transmitting nor locked onto a frame. The signal energy comes
 // from the incrementally-maintained per-receiver interference sum (a
-// radio's own transmissions never contribute: powMW at the sender is 0),
-// and the comparison happens in the linear domain.
+// radio's own transmissions never contribute: a node is not among its own
+// candidates), and the comparison happens in the linear domain.
 func (r *Radio) ChannelClear() bool {
 	if r.down || r.transmitting || r.rx != nil {
 		return false

@@ -195,6 +195,28 @@ func (t *PRRTable) Decide(sinrDB float64, rng *sim.Rand) bool {
 	return u < PRR(sinrDB, t.frameBytes)
 }
 
+// CertifiedUpperPRR returns a certified upper bound on the analytic
+// reception probability at sinrDB. PRR is strictly increasing in SINR, so
+// the containing cell's certified hi bound (upper grid edge + prrBoundsEps,
+// covering the analytic evaluation's own float error) bounds the function
+// over the cell; below the table domain the domain floor's bound applies,
+// at or above the saturation point the bound is 1. The spatial-culling
+// conservativeness test uses this to certify that no culled link's
+// best-case SINR could ever decode a frame above the table's resolution.
+func (t *PRRTable) CertifiedUpperPRR(sinrDB float64) float64 {
+	if sinrDB >= prrTableMaxDB {
+		return 1
+	}
+	if sinrDB < prrTableMinDB {
+		sinrDB = prrTableMinDB
+	}
+	i := int((sinrDB - prrTableMinDB) * prrTableStepsPerDB)
+	if i >= prrTableCells {
+		i = prrTableCells - 1
+	}
+	return t.cell[i].hi
+}
+
 // prrTableCache shares built tables process-wide: the curve depends only
 // on the frame length, so concurrent experiment runs (and every run of a
 // sweep) reuse one table per length instead of rebuilding ~50 KB of curve

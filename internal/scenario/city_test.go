@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"testing"
+
+	"fourbit/internal/experiment"
+	"fourbit/internal/phy"
+)
+
+// cityRunConfig compiles a city preset and asserts the compiled run would
+// select the sparse audible-set channel representation — the presets exist
+// to exercise that path, so silently falling back to the dense O(n²)
+// arrays (a threshold regression, or a lost Channel override) would turn
+// them into memory bombs.
+func cityRunConfig(t *testing.T, name string) experiment.RunConfig {
+	t.Helper()
+	p, ok := Preset(name)
+	if !ok {
+		t.Fatalf("preset %q missing", name)
+	}
+	rc, err := p.Spec.RunConfig()
+	if err != nil {
+		t.Fatalf("preset %q does not compile: %v", name, err)
+	}
+	if rc.Env == nil {
+		t.Fatalf("preset %q lost its channel overrides", name)
+	}
+	if !phy.PrecomputeGeo(rc.Topo, rc.Env.Phy).Sparse() {
+		t.Fatalf("preset %q (n=%d) selects the dense representation", name, rc.Topo.N())
+	}
+	return rc
+}
+
+// TestCityPresetsSelectSparse pins the representation choice for every
+// city-scale preset, including the 10k-node one (topology build and
+// geometric precompute only — no channel instantiation, so it stays cheap
+// enough for -short).
+func TestCityPresetsSelectSparse(t *testing.T) {
+	for _, name := range []string{"city-corridor-2k", "city-multifloor-10k"} {
+		cityRunConfig(t, name)
+	}
+}
+
+// TestCityScaleSmoke actually runs the 2000-node corridor preset for a few
+// simulated seconds: the full protocol stack over the sparse channel must
+// boot, form the first tree layers around the root, and deliver traffic.
+// CI runs this under the race detector (the `city-scale-smoke` step); the
+// simulated duration is cut far below the preset's so that stays fast.
+func TestCityScaleSmoke(t *testing.T) {
+	p, _ := Preset("city-corridor-2k")
+	p.Spec.DurationMin = 0.2 // 12 s simulated: boot window + first samples
+	p.Spec.WarmupMin = 0.1
+	p.Spec.SampleS = 3
+	rc, err := p.Spec.RunConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cityRunConfig(t, "city-corridor-2k") // representation pin on the real preset
+	res := experiment.Run(rc)
+	if res.Generated == 0 {
+		t.Fatal("city smoke generated no traffic")
+	}
+	if res.Unique == 0 {
+		t.Fatal("city smoke delivered nothing; network degenerate")
+	}
+	t.Logf("2k smoke: generated=%d unique=%d delivery=%.2f events=%d",
+		res.Generated, res.Unique, res.DeliveryRatio, res.Events)
+}

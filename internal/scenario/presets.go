@@ -76,6 +76,12 @@ func Presets() []NamedSpec {
 				}},
 			},
 		},
+		cityPreset("city-corridor-2k",
+			"a 1.5 km urban corridor of 2000 nodes — the sparse audible-set channel at city scale",
+			TopoSpec{Kind: "corridor", N: 2000, LengthM: 1500, WidthM: 40}),
+		cityPreset("city-multifloor-10k",
+			"a 10000-node eight-floor block (600x300 m per floor) — the largest built-in deployment",
+			TopoSpec{Kind: "multifloor", N: 10000, Floors: 8, WidthM: 600, HeightM: 300}),
 		{
 			Name: "power-drop",
 			Desc: "multifloor deployment; every non-root node steps from 0 to -12 dBm at minute 10 (links turn marginal mid-run)",
@@ -109,6 +115,35 @@ func deathRecoveryPreset() NamedSpec {
 		Spec: s,
 	}
 }
+
+// cityPreset wraps a city-scale topology in the shared large-deployment
+// conditions: a steeper urban path-loss exponent (4.0 — dense construction,
+// so radio horizons stay a few hundred meters and the audible set is
+// genuinely sparse), a short run (the point is scale, not duration), and a
+// compressed boot window so 25% of a run is not spent booting. Above
+// phy.DefaultSparseAboveN nodes the channel automatically selects the
+// sparse audible-set representation; docs/SCENARIOS.md §"City scale"
+// derives the densities.
+func cityPreset(name, desc string, tp TopoSpec) NamedSpec {
+	return NamedSpec{
+		Name: name,
+		Desc: desc,
+		Spec: Spec{
+			Name:        name,
+			Protocol:    "4B",
+			Topology:    tp,
+			Seed:        1,
+			DurationMin: 2,
+			WarmupMin:   0.5,
+			SampleS:     30,
+			Traffic:     &TrafficSpec{BootWindowS: 10},
+			Channel:     &ChannelSpec{PathLossExponent: fptr(4.0)},
+		},
+	}
+}
+
+// fptr makes a pointer-valued ChannelSpec field literal.
+func fptr(v float64) *float64 { return &v }
 
 // estKindPreset derives a single-estimator preset from the comparison
 // figure's own specs, so preset conditions (grid, power, seed) track

@@ -120,6 +120,13 @@ type ChannelSpec struct {
 	NoiseBurstMeanOnMS  *float64 `json:",omitempty"`
 	NoiseBurstMeanOffS  *float64 `json:",omitempty"`
 	PacketJitterSigmaDB *float64 `json:",omitempty"`
+	// SparseAboveN / AudibleFloorDB control the sparse audible-set channel
+	// representation for city-scale networks (see phy.PrecomputeGeo).
+	// Representation choice never changes results; these exist to force a
+	// path (differential tests) or tune the storage floor. nil keeps the
+	// phy defaults (sparse from 512 nodes, floor −125.5 dB).
+	SparseAboveN   *int     `json:",omitempty"`
+	AudibleFloorDB *float64 `json:",omitempty"`
 }
 
 func (c *ChannelSpec) apply(p *phy.Params) {
@@ -150,6 +157,10 @@ func (c *ChannelSpec) apply(p *phy.Params) {
 	if c.NoiseBurstMeanOffS != nil {
 		p.NoiseBurstMeanOff = sim.FromSeconds(*c.NoiseBurstMeanOffS)
 	}
+	if c.SparseAboveN != nil {
+		p.SparseAboveN = *c.SparseAboveN
+	}
+	set(&p.AudibleFloorDB, c.AudibleFloorDB)
 }
 
 // protocol resolves the protocol name (empty = 4B).

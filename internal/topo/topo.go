@@ -53,8 +53,30 @@ func (t *Topology) Distance(i, j int) float64 {
 	return math.Sqrt((a.X-b.X)*(a.X-b.X) + (a.Y-b.Y)*(a.Y-b.Y) + dz*dz)
 }
 
+// Coord returns node i's position in meters, with the vertical coordinate
+// derived from the floor index — the flat view the channel model's spatial
+// bucketing indexes without materializing pairwise matrices.
+func (t *Topology) Coord(i int) (x, y, z float64) {
+	p := t.Positions[i]
+	return p.X, p.Y, float64(p.Floor) * t.FloorHeightM
+}
+
+// ExtraLossDB returns the static obstruction loss between i and j — floor
+// slabs plus deterministic clutter, exactly the value Matrices places in
+// its extra-loss matrix. It is never negative: obstructions only ever
+// attenuate, a property the channel model's audibility culling relies on.
+func (t *Topology) ExtraLossDB(i, j int) float64 {
+	floors := t.Positions[i].Floor - t.Positions[j].Floor
+	if floors < 0 {
+		floors = -floors
+	}
+	return float64(floors)*t.FloorLossDB + t.clutter(i, j)
+}
+
 // Matrices returns the pairwise distance matrix and the extra static loss
-// matrix (floor-slab attenuation) for the channel model.
+// matrix (floor-slab attenuation) for the channel model. Large networks
+// should prefer the per-pair accessors (Distance, ExtraLossDB, Coord) —
+// this materializes O(n²) floats.
 func (t *Topology) Matrices() (dist, extraLossDB [][]float64) {
 	n := t.N()
 	dist = make([][]float64, n)
@@ -67,11 +89,7 @@ func (t *Topology) Matrices() (dist, extraLossDB [][]float64) {
 		for j := i + 1; j < n; j++ {
 			d := t.Distance(i, j)
 			dist[i][j], dist[j][i] = d, d
-			floors := t.Positions[i].Floor - t.Positions[j].Floor
-			if floors < 0 {
-				floors = -floors
-			}
-			loss := float64(floors)*t.FloorLossDB + t.clutter(i, j)
+			loss := t.ExtraLossDB(i, j)
 			extraLossDB[i][j], extraLossDB[j][i] = loss, loss
 		}
 	}
