@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet tier1 bench bench-smoke bench-guard docs lint golden golden-check race-probe city-scale-smoke clean
+.PHONY: all build test vet tier1 bench bench-smoke bench-guard docs lint golden golden-check race-probe city-scale-smoke serve-race fuzz-smoke serve-soak clean
 
 all: build
 
@@ -76,6 +76,31 @@ race-probe:
 	$(GO) test -race -count=1 ./internal/probe ./internal/trace ./internal/node
 	$(GO) test -race -count=1 -run 'TestTimeline|TestReplicateCarriesTimelines' ./internal/experiment
 	$(GO) test -race -count=1 -run 'TestAgility|TestWriteTimeline|TestScenarioTimelineRows' ./internal/scenario
+
+# serve-race runs the estimation-service surface under the race detector:
+# every instance pairs one worker goroutine against concurrent HTTP
+# handlers (ingest, barrier-synced queries, snapshot, janitor eviction),
+# so this is the layer where a data race would surface first. Includes
+# the chaostest fault-injection harness end to end.
+serve-race:
+	$(GO) test -race -count=1 ./internal/serve/... ./cmd/fourbitsim
+
+# fuzz-smoke runs each native fuzz target briefly against the saved seed
+# corpus plus a few seconds of new inputs — a tripwire for decoder
+# regressions (panics, untyped errors, scratch aliasing), not a deep
+# campaign. Longer runs: go test -fuzz FuzzDecodeEvent ./internal/serve
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/packet
+	$(GO) test -run '^$$' -fuzz FuzzDecodeLEFrame -fuzztime 5s ./internal/packet
+	$(GO) test -run '^$$' -fuzz FuzzDecodeEvent -fuzztime 5s ./internal/serve
+
+# serve-soak is the long-haul chaos run: 8 instances (2 per estimator
+# kind) under sustained randomized ingest with concurrent queriers, one
+# kill/snapshot/restore cycle in the middle, 60 s total, under -race.
+# Nightly-tier — not part of tier1 or the per-PR CI gate.
+serve-soak:
+	$(GO) test -race -count=1 -run TestServeSoak ./internal/serve/chaostest \
+		-soak -soak-duration 60s -timeout 10m -v
 
 # bench runs vet + tier-1 + a one-iteration bench smoke and snapshots the
 # results (with metadata) into BENCH_<date>.json for cross-PR perf diffs.

@@ -22,9 +22,11 @@
 //	fourbitsim timeline  [-seed N] [-minutes M] [-workers W] [-csv FILE] [-jsonl FILE]
 //	fourbitsim replicate [-seed N] [-minutes M] [-workers W] [-proto P] [-power dBm] [-seeds K] [-estimator E]
 //	fourbitsim scenario  [-preset NAME | -spec FILE | -list] [-seed N] [-workers W] [-estimator E]
-//	                     [-timeline-csv FILE] [-timeline-jsonl FILE]
+//	                     [-timeline-csv FILE] [-timeline-jsonl FILE] [-estfeed-dir DIR]
 //	fourbitsim sweep     [-spec FILE] [-seed N] [-minutes M] [-replicates K]
 //	                     [-csv FILE] [-jsonl FILE] [-workers W]
+//	fourbitsim serve     [-addr HOST:PORT] [-queue-depth N] [-overflow P]
+//	                     [-request-timeout D] [-idle-evict D] [-snapshot-dir DIR]
 //	fourbitsim all       [-seed N] [-minutes M] [-workers W]
 //
 // Every subcommand also accepts -cpuprofile FILE and -memprofile FILE to
@@ -53,6 +55,7 @@ func main() {
 	cmd, args := os.Args[1], os.Args[2:]
 	run, ok := subcommands()[cmd]
 	if !ok {
+		fmt.Fprintf(os.Stderr, "fourbitsim: unknown subcommand %q\n\n", cmd)
 		usage()
 		os.Exit(2)
 	}
@@ -105,6 +108,7 @@ func subcommands() map[string]func([]string) {
 		"replicate": runReplicate,
 		"scenario":  runScenario,
 		"sweep":     runSweep,
+		"serve":     runServe,
 		"all": func(args []string) {
 			c := newCommonFlags("all")
 			minutes := c.minutes()
@@ -283,6 +287,7 @@ func runScenario(args []string) {
 	estimator := c.fs.String("estimator", "", "link-estimator kind for CTP-family protocols (4bit, wmewma, pdr, lqi)")
 	tlCSV := c.fs.String("timeline-csv", "", "write recorded timelines as CSV to this file ('-' = stdout; needs TimelineS in the spec)")
 	tlJSONL := c.fs.String("timeline-jsonl", "", "write recorded timelines as JSONL to this file ('-' = stdout)")
+	estFeed := c.fs.String("estfeed-dir", "", "record each node's estimator event stream to node-<addr>.jsonl files in this directory, replayable into `fourbitsim serve` (single run; Replicates is ignored)")
 	defer c.parse(args)()
 	if *list {
 		fmt.Println("built-in scenario presets:")
@@ -323,7 +328,13 @@ func runScenario(args []string) {
 	if c.set("estimator") {
 		spec.Estimator = *estimator
 	}
-	rep, err := spec.Run(*c.workers)
+	var rep *experiment.Replicated
+	var err error
+	if *estFeed != "" {
+		rep, err = runScenarioWithFeed(&spec, *estFeed)
+	} else {
+		rep, err = spec.Run(*c.workers)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -435,6 +446,8 @@ subcommands:
   scenario  run one declarative scenario (-preset NAME | -spec FILE | -list)
   sweep     expand a parameter grid into replicated runs; default grid is
             3 topologies x 2 powers x 2 protocols (12 cells)
+  serve     host link estimators as a service: HTTP/JSONL event ingest,
+            table/cost queries, snapshot/restore, graceful drain
   all       everything except fig3
 
 common flags:
@@ -450,9 +463,14 @@ timeline flags:  -csv FILE / -jsonl FILE (per-window timeline export)
 replicate flags: -proto P (protocol name), -power dBm, -seeds K,
                  -estimator E (4bit, wmewma, pdr, lqi; CTP family only)
 scenario flags:  -preset NAME, -spec FILE (JSON Spec), -list, -estimator E,
-                 -timeline-csv FILE / -timeline-jsonl FILE
+                 -timeline-csv FILE / -timeline-jsonl FILE,
+                 -estfeed-dir DIR (record per-node estimator feeds for serve)
 sweep flags:     -spec FILE (JSON Sweep), -replicates K (seeds per cell),
                  -csv FILE, -jsonl FILE ('-' = stdout)
+serve flags:     -addr HOST:PORT, -queue-depth N, -overflow backpressure|drop-oldest,
+                 -request-timeout D, -idle-evict D, -max-instances N,
+                 -snapshot-dir DIR (restore at boot, write back on SIGTERM),
+                 -drain-timeout D
 
 Spec and Sweep JSON schemas, every knob, timelines and the recovery-time
 metric are documented in docs/SCENARIOS.md; examples/sweep shows the same

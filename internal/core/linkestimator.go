@@ -73,6 +73,20 @@ type LinkEstimator interface {
 
 	// Counters returns the estimator-internal event counts.
 	Counters() Stats
+
+	// Snapshot serializes the estimator's complete state — table entries in
+	// insertion order, window accounting, wire-envelope cursors, counters,
+	// and the rng stream position — such that RestoreKind (or Restore on a
+	// fresh instance of the same kind) continues bit-identically: every
+	// subsequent estimate, admission decision, and beacon footer matches
+	// what the un-snapshotted estimator would have produced. It fails for
+	// estimators built over plain (uncounted) rng streams, whose position
+	// is unobservable; long-running instances use sim.NewCountedRand.
+	Snapshot() (*EstimatorSnapshot, error)
+	// Restore replaces the estimator's state with the snapshot's. The
+	// snapshot must carry the receiver's kind and a supported version;
+	// installed probe buses and comparers survive the restore.
+	Restore(snap *EstimatorSnapshot) error
 }
 
 // EstimatorKind names a pluggable estimator implementation. The zero value

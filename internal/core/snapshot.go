@@ -1,0 +1,261 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// Estimator snapshot/restore: the serializable form of a LinkEstimator's
+// complete state. A snapshot taken mid-stream and restored into a fresh
+// process continues bit-identically — same estimates, same admission
+// decisions, same beacon footers — because it captures everything the
+// estimator's future behavior depends on: every table entry field in
+// insertion order (the footer round-robin, eviction scans, and
+// random-victim draws all observe that order), the window accounting in
+// progress, the wire-envelope cursors, the counters, and the rng stream
+// position (seed + draw count of a counted stream; see sim.NewCountedRand).
+//
+// The format is JSON-friendly: Go's float64 encoding is shortest-round-trip
+// exact, so estimates survive marshal/unmarshal bit-for-bit. Version gates
+// the schema — a snapshot from a different schema is refused, never
+// misinterpreted.
+
+// SnapshotVersion is the current estimator snapshot schema version.
+// Restore refuses any other value.
+const SnapshotVersion = 1
+
+// Snapshot/restore errors. Callers branch on these with errors.Is.
+var (
+	// ErrSnapshotRNG: the estimator draws from a plain stream whose
+	// position cannot be observed (simulation wiring); only estimators
+	// built over sim.NewCountedRand streams are snapshotable.
+	ErrSnapshotRNG = errors.New("core: estimator rng stream is not snapshotable (use sim.NewCountedRand)")
+	// ErrSnapshotVersion: the snapshot's schema version is not supported.
+	ErrSnapshotVersion = errors.New("core: unsupported estimator snapshot version")
+	// ErrSnapshotKind: the snapshot's kind does not match the estimator
+	// (or names no registered kind).
+	ErrSnapshotKind = errors.New("core: estimator snapshot kind mismatch")
+	// ErrSnapshotState: the snapshot's payload is structurally invalid
+	// (more entries than the table holds, duplicate addresses, bad config).
+	ErrSnapshotState = errors.New("core: invalid estimator snapshot state")
+)
+
+// EntrySnapshot is the serialized form of one table Entry — every field,
+// including the unexported window accounting, so a restored entry resumes
+// its in-progress windows exactly.
+type EntrySnapshot struct {
+	Addr   packet.Addr `json:"addr"`
+	Pinned bool        `json:"pinned,omitempty"`
+
+	SeqInit   bool     `json:"seq_init,omitempty"`
+	LastSeq   uint16   `json:"last_seq,omitempty"`
+	Rcvd      int      `json:"rcvd,omitempty"`
+	Missed    int      `json:"missed,omitempty"`
+	PRRInit   bool     `json:"prr_init,omitempty"`
+	PRREwma   float64  `json:"prr_ewma,omitempty"`
+	LastHeard sim.Time `json:"last_heard,omitempty"`
+
+	OutQuality float64 `json:"out_quality,omitempty"`
+	OutValid   bool    `json:"out_valid,omitempty"`
+
+	UTotal     int `json:"u_total,omitempty"`
+	UAcked     int `json:"u_acked,omitempty"`
+	FailsSince int `json:"fails_since,omitempty"`
+
+	ETXInit bool    `json:"etx_init,omitempty"`
+	ETX     float64 `json:"etx,omitempty"`
+
+	Windows int `json:"windows,omitempty"`
+}
+
+// EstimatorSnapshot is the versioned, serializable state of one estimator
+// instance. Entries appear in table insertion order.
+type EstimatorSnapshot struct {
+	Version  int           `json:"version"`
+	Kind     EstimatorKind `json:"kind"`
+	Self     packet.Addr   `json:"self"`
+	Config   Config        `json:"config"`
+	RNGSeed  uint64        `json:"rng_seed"`
+	RNGDraws uint64        `json:"rng_draws"`
+
+	BeaconSeq uint16          `json:"beacon_seq"`
+	FooterIdx int             `json:"footer_idx,omitempty"`
+	Stats     Stats           `json:"stats"`
+	Entries   []EntrySnapshot `json:"entries"`
+}
+
+// snapshot serializes one entry.
+func (e *Entry) snapshot() EntrySnapshot {
+	return EntrySnapshot{
+		Addr: e.Addr, Pinned: e.Pinned,
+		SeqInit: e.seqInit, LastSeq: e.lastSeq, Rcvd: e.rcvd, Missed: e.missed,
+		PRRInit: e.prrInit, PRREwma: e.prrEwma, LastHeard: e.lastHeard,
+		OutQuality: e.outQuality, OutValid: e.outValid,
+		UTotal: e.uTotal, UAcked: e.uAcked, FailsSince: e.failsSince,
+		ETXInit: e.etxInit, ETX: e.etx,
+		Windows: e.windows,
+	}
+}
+
+// restoreInto writes the snapshot's fields over a freshly-inserted entry.
+func (s *EntrySnapshot) restoreInto(e *Entry) {
+	e.Pinned = s.Pinned
+	e.seqInit, e.lastSeq, e.rcvd, e.missed = s.SeqInit, s.LastSeq, s.Rcvd, s.Missed
+	e.prrInit, e.prrEwma, e.lastHeard = s.PRRInit, s.PRREwma, s.LastHeard
+	e.outQuality, e.outValid = s.OutQuality, s.OutValid
+	e.uTotal, e.uAcked, e.failsSince = s.UTotal, s.UAcked, s.FailsSince
+	e.etxInit, e.etx = s.ETXInit, s.ETX
+	e.windows = s.Windows
+}
+
+// snapshotCommon assembles the snapshot fields every kind shares.
+func snapshotCommon(kind EstimatorKind, self packet.Addr, cfg Config, rng *sim.Rand,
+	beaconSeq uint16, footerIdx int, stats Stats, t *Table) (*EstimatorSnapshot, error) {
+	seed, draws, ok := rng.SnapshotState()
+	if !ok {
+		return nil, ErrSnapshotRNG
+	}
+	snap := &EstimatorSnapshot{
+		Version: SnapshotVersion, Kind: kind, Self: self, Config: cfg,
+		RNGSeed: seed, RNGDraws: draws,
+		BeaconSeq: beaconSeq, FooterIdx: footerIdx, Stats: stats,
+		Entries: make([]EntrySnapshot, 0, t.Len()),
+	}
+	for _, e := range t.Entries() {
+		snap.Entries = append(snap.Entries, e.snapshot())
+	}
+	return snap, nil
+}
+
+// checkSnapshot validates the envelope against the restoring kind and
+// returns the restored rng stream and rebuilt table.
+func checkSnapshot(snap *EstimatorSnapshot, kind EstimatorKind) (*sim.Rand, *Table, error) {
+	if snap == nil {
+		return nil, nil, fmt.Errorf("%w: nil snapshot", ErrSnapshotState)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, nil, fmt.Errorf("%w: snapshot has version %d, this build speaks %d",
+			ErrSnapshotVersion, snap.Version, SnapshotVersion)
+	}
+	if snap.Kind != kind {
+		return nil, nil, fmt.Errorf("%w: snapshot is %q, estimator is %q", ErrSnapshotKind, snap.Kind, kind)
+	}
+	if err := snap.Config.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrSnapshotState, err)
+	}
+	if len(snap.Entries) > snap.Config.TableSize {
+		return nil, nil, fmt.Errorf("%w: %d entries exceed table size %d",
+			ErrSnapshotState, len(snap.Entries), snap.Config.TableSize)
+	}
+	t := newTable(snap.Config.TableSize)
+	for i := range snap.Entries {
+		s := &snap.Entries[i]
+		if t.Find(s.Addr) != nil {
+			return nil, nil, fmt.Errorf("%w: duplicate entry for %v", ErrSnapshotState, s.Addr)
+		}
+		s.restoreInto(t.Insert(s.Addr))
+	}
+	return sim.RestoreCountedRand(snap.RNGSeed, snap.RNGDraws), t, nil
+}
+
+// Snapshot implements LinkEstimator for the four-bit hybrid.
+func (est *Estimator) Snapshot() (*EstimatorSnapshot, error) {
+	return snapshotCommon(KindFourBit, est.self, est.cfg, est.rng,
+		est.beaconSeq, est.footerIdx, est.Stats, est.table)
+}
+
+// Restore implements LinkEstimator for the four-bit hybrid. The installed
+// comparer and probe bus survive — they are receiver-side wiring, not
+// estimator state.
+func (est *Estimator) Restore(snap *EstimatorSnapshot) error {
+	rng, t, err := checkSnapshot(snap, KindFourBit)
+	if err != nil {
+		return err
+	}
+	est.table, est.self, est.cfg, est.rng = t, snap.Self, snap.Config, rng
+	est.tableView.self = snap.Self
+	est.beaconSeq, est.footerIdx, est.Stats = snap.BeaconSeq, snap.FooterIdx, snap.Stats
+	return nil
+}
+
+// snapshot assembles a beacon-kind snapshot under the concrete kind name.
+func (k *beaconKind) snapshot(kind EstimatorKind) (*EstimatorSnapshot, error) {
+	return snapshotCommon(kind, k.self, k.cfg, k.rng,
+		k.beaconSeq, k.footerIdx, k.stats, k.table)
+}
+
+// restore rebuilds the shared beacon-kind state from the snapshot.
+func (k *beaconKind) restore(kind EstimatorKind, snap *EstimatorSnapshot) error {
+	rng, t, err := checkSnapshot(snap, kind)
+	if err != nil {
+		return err
+	}
+	k.table, k.self, k.cfg, k.rng = t, snap.Self, snap.Config, rng
+	k.tableView.self = snap.Self
+	k.window = snap.Config.maWindow()
+	k.beaconSeq, k.footerIdx, k.stats = snap.BeaconSeq, snap.FooterIdx, snap.Stats
+	return nil
+}
+
+// Snapshot implements LinkEstimator for the WMEWMA kind.
+func (est *WMEWMA) Snapshot() (*EstimatorSnapshot, error) { return est.snapshot(KindWMEWMA) }
+
+// Restore implements LinkEstimator for the WMEWMA kind.
+func (est *WMEWMA) Restore(snap *EstimatorSnapshot) error { return est.restore(KindWMEWMA, snap) }
+
+// Snapshot implements LinkEstimator for the PDR kind.
+func (est *PDREstimator) Snapshot() (*EstimatorSnapshot, error) { return est.snapshot(KindPDR) }
+
+// Restore implements LinkEstimator for the PDR kind.
+func (est *PDREstimator) Restore(snap *EstimatorSnapshot) error { return est.restore(KindPDR, snap) }
+
+// Snapshot implements LinkEstimator for the LQI kind (no footer cursor —
+// its beacons advertise nothing).
+func (est *LQIEstimator) Snapshot() (*EstimatorSnapshot, error) {
+	return snapshotCommon(KindLQI, est.self, est.cfg, est.rng,
+		est.beaconSeq, 0, est.stats, est.table)
+}
+
+// Restore implements LinkEstimator for the LQI kind.
+func (est *LQIEstimator) Restore(snap *EstimatorSnapshot) error {
+	rng, t, err := checkSnapshot(snap, KindLQI)
+	if err != nil {
+		return err
+	}
+	est.table, est.self, est.cfg, est.rng = t, snap.Self, snap.Config, rng
+	est.tableView.self = snap.Self
+	est.beaconSeq, est.stats = snap.BeaconSeq, snap.Stats
+	return nil
+}
+
+// RestoreKind builds a fresh estimator of the snapshot's kind and restores
+// the snapshot into it — the rolling-restart path: serialize with Snapshot,
+// ship the JSON, RestoreKind on the other side, continue bit-identically.
+// The returned estimator has no comparer or probe bus installed; callers
+// re-wire those as after NewKind.
+func RestoreKind(snap *EstimatorSnapshot) (LinkEstimator, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("%w: nil snapshot", ErrSnapshotState)
+	}
+	if _, err := ParseEstimatorKind(string(snap.Kind)); err != nil || snap.Kind == "" {
+		return nil, fmt.Errorf("%w: %q", ErrSnapshotKind, snap.Kind)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot has version %d, this build speaks %d",
+			ErrSnapshotVersion, snap.Version, SnapshotVersion)
+	}
+	if err := snap.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotState, err)
+	}
+	est, err := NewKind(snap.Kind, snap.Self, snap.Config, nil, sim.NewCountedRand(snap.RNGSeed))
+	if err != nil {
+		return nil, err
+	}
+	if err := est.Restore(snap); err != nil {
+		return nil, err
+	}
+	return est, nil
+}

@@ -127,6 +127,11 @@ type RunConfig struct {
 	// window width. Zero (the default) keeps the run unprobed — collectors
 	// are pure observers either way, so the trajectory is identical.
 	TimelineWindow sim.Time
+	// WrapEstimator decorates each node's link estimator before the router
+	// sees it (see node.EnvConfig.WrapEstimator) — the scenario runner's
+	// estimator-feed recording rides here. Applied on top of Env when both
+	// are set; pass-through decorators keep the run bit-identical.
+	WrapEstimator func(addr packet.Addr, est core.LinkEstimator) core.LinkEstimator
 }
 
 // DefaultRunConfig returns the standard 25-minute Mirage-style run.
@@ -221,6 +226,9 @@ func resolveEnv(rc RunConfig) node.EnvConfig {
 		envCfg = *rc.Env
 		envCfg.Seed = rc.Seed
 		envCfg.TxPowerDBm = rc.TxPowerDBm
+	}
+	if rc.WrapEstimator != nil {
+		envCfg.WrapEstimator = rc.WrapEstimator
 	}
 	return envCfg
 }

@@ -35,6 +35,14 @@ type EnvConfig struct {
 	// the batch runners set it once per sweep cell and share it read-only
 	// across the worker pool.
 	ChanPre *phy.ChannelPre
+
+	// WrapEstimator, when non-nil, decorates each node's link estimator
+	// before the router sees it — the hook the serving layer's feed
+	// recorder uses to tap a node's estimator event stream out of a
+	// simulation. The decorator must delegate every call (a pass-through
+	// wrapper keeps the run bit-identical); it runs after SetProbes, so
+	// the inner estimator is fully wired when wrapped.
+	WrapEstimator func(addr packet.Addr, est core.LinkEstimator) core.LinkEstimator
 }
 
 // DefaultEnvConfig returns the standard environment at the given power.
@@ -123,6 +131,9 @@ func BuildCTPKind(env *Env, ctpCfg ctp.Config, estCfg core.Config, kind core.Est
 			panic("node: " + err.Error())
 		}
 		est.SetProbes(env.Probes)
+		if env.Cfg.WrapEstimator != nil {
+			est = env.Cfg.WrapEstimator(addr, est)
+		}
 		cn := ctp.New(env.Clock, m, est, i == env.Topo.Root, ctpCfg,
 			env.Seeds.Stream(fmt.Sprintf("ctp/%d", i)))
 		net.Nodes = append(net.Nodes, cn)

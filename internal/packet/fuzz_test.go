@@ -1,0 +1,102 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame drives arbitrary bytes through the MAC frame decoder —
+// the radio receive path decodes every frame it hears, so it must never
+// panic, and anything it accepts must re-encode to the identical bytes
+// (decode is the inverse of encode on the accepted set).
+func FuzzDecodeFrame(f *testing.F) {
+	seed := Frame{Type: TypeData, AckRequest: true, Seq: 7, Src: 3, Dst: 9, Payload: []byte("hello")}
+	enc, err := seed.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, FrameHeaderLen+FrameTrailerLen))
+	corrupt := append([]byte(nil), enc...)
+	corrupt[len(corrupt)-1] ^= 0xFF // CRC
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		// The decoder aliases nothing: mutating the input must not reach
+		// the decoded frame.
+		if len(data) > 0 {
+			data[0] ^= 0xFF
+		}
+		if len(fr.Payload) > MaxPayload {
+			// Accepted but not re-encodable; the MAC never builds such
+			// frames, the decoder tolerates them.
+			return
+		}
+		enc, err := fr.Encode()
+		if err != nil {
+			t.Fatalf("accepted frame did not re-encode: %v", err)
+		}
+		if len(data) > 0 {
+			data[0] ^= 0xFF
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode/encode not inverse:\n in  %x\n out %x", data, enc)
+		}
+	})
+}
+
+// FuzzDecodeLEFrame does the same for the link-estimation envelope nested
+// inside beacon payloads, including the reusable-scratch decoder: decoding
+// into a dirty LEFrame must behave exactly like decoding into a fresh one.
+func FuzzDecodeLEFrame(f *testing.F) {
+	seed := LEFrame{Seq: 99, NetPayload: []byte{1, 2, 3},
+		Entries: []LinkEntry{{Addr: 4, InQuality: 200}, {Addr: 7, InQuality: 31}}}
+	enc, err := seed.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fresh, freshErr := DecodeLEFrame(data)
+
+		dirty := LEFrame{NetPayload: []byte{9}, Entries: make([]LinkEntry, 3, 16)}
+		dirtyErr := DecodeLEFrameInto(&dirty, data)
+		if (freshErr == nil) != (dirtyErr == nil) {
+			t.Fatalf("fresh err %v vs scratch err %v", freshErr, dirtyErr)
+		}
+		if freshErr != nil {
+			if !errors.Is(freshErr, ErrShortHeader) && !errors.Is(freshErr, ErrBadLength) {
+				t.Fatalf("untyped decode error: %v", freshErr)
+			}
+			return
+		}
+		if fresh.Seq != dirty.Seq || !bytes.Equal(fresh.NetPayload, dirty.NetPayload) ||
+			len(fresh.Entries) != len(dirty.Entries) {
+			t.Fatalf("scratch decode diverged from fresh decode")
+		}
+		for i := range fresh.Entries {
+			if fresh.Entries[i] != dirty.Entries[i] {
+				t.Fatalf("entry %d: %+v vs %+v", i, fresh.Entries[i], dirty.Entries[i])
+			}
+		}
+		if len(fresh.Entries) > MaxLinkEntries {
+			return // tolerated on decode, never produced by Encode
+		}
+		enc, err := fresh.Encode()
+		if err != nil {
+			t.Fatalf("accepted envelope did not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("decode/encode not inverse:\n in  %x\n out %x", data, enc)
+		}
+	})
+}

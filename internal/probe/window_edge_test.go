@@ -1,0 +1,142 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// Window-roll edge cases for the timeline Collector: the lazy roll must put
+// every event in exactly one window, tolerate boundary-coincident and
+// repeated timestamps, bridge long silent gaps with explicit empty windows,
+// and survive degenerate (zero-length) runs.
+
+// TestWindowBoundaryDuplicateTimestamps: events stamped exactly on a window
+// boundary belong to the window that STARTS there (windows are [start,
+// end)), and a burst of identical boundary timestamps rolls the window once,
+// not once per event.
+func TestWindowBoundaryDuplicateTimestamps(t *testing.T) {
+	const w = 10 * sim.Second
+	c := NewCollector(w)
+
+	c.OnGenerate(GenerateEvent{At: w - 1, Origin: 3}) // last tick of window 0
+	for i := 0; i < 3; i++ {                          // burst exactly on the boundary
+		c.OnDeliver(DeliverEvent{At: w, Origin: 3})
+	}
+	c.OnGenerate(GenerateEvent{At: w, Origin: 3}) // same duplicate stamp again
+
+	tl := c.Finalize(2 * w)
+	if len(tl.Windows) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(tl.Windows), tl.Windows)
+	}
+	w0, w1 := tl.Windows[0], tl.Windows[1]
+	if w0.Generated != 1 || w0.Delivered != 0 {
+		t.Fatalf("window 0 miscounted: %+v", w0)
+	}
+	if w1.Generated != 1 || w1.Delivered != 3 {
+		t.Fatalf("boundary events landed in the wrong window: %+v", w1)
+	}
+	if w0.Start != 0 || w0.End != w || w1.Start != w || w1.End != 2*w {
+		t.Fatalf("window edges drifted: %+v %+v", w0, w1)
+	}
+}
+
+// TestWindowGapEmitsEmptyWindows: a silent multi-window gap yields explicit
+// zero-count windows (NaN cost — undefined, not zero), so series stay
+// evenly spaced for plotting and recovery scans.
+func TestWindowGapEmitsEmptyWindows(t *testing.T) {
+	const w = 10 * sim.Second
+	c := NewCollector(w)
+	c.OnDeliver(DeliverEvent{At: 1 * sim.Second})
+	c.OnDeliver(DeliverEvent{At: 5*w + sim.Second}) // five windows later
+
+	tl := c.Finalize(6 * w)
+	if len(tl.Windows) != 6 {
+		t.Fatalf("got %d windows, want 6", len(tl.Windows))
+	}
+	for i := 1; i <= 4; i++ {
+		win := tl.Windows[i]
+		if win.Generated != 0 || win.Delivered != 0 || win.DataTx != 0 {
+			t.Fatalf("gap window %d not empty: %+v", i, win)
+		}
+		if !math.IsNaN(win.Cost()) || !math.IsNaN(win.DeliveryRatio()) {
+			t.Fatalf("empty window %d has defined cost/delivery", i)
+		}
+		if win.Start != sim.Time(i)*w || win.End != sim.Time(i+1)*w {
+			t.Fatalf("gap window %d edges wrong: %+v", i, win)
+		}
+	}
+	if tl.Windows[5].Delivered != 1 {
+		t.Fatalf("post-gap event lost: %+v", tl.Windows[5])
+	}
+	// Occupancy snapshots persist across empty windows.
+	c2 := NewCollector(w)
+	c2.OnTable(TableEvent{At: sim.Second, Node: 1, Neighbor: 2, Op: OpInsert})
+	tl2 := c2.Finalize(4 * w)
+	for i, win := range tl2.Windows {
+		if win.TableOccupancy != 1 {
+			t.Fatalf("window %d occupancy %d, want 1 carried through the gap", i, win.TableOccupancy)
+		}
+	}
+}
+
+// TestZeroLengthRun: finalizing at time zero — a run that never advanced —
+// must not panic and must yield an empty, well-formed timeline.
+func TestZeroLengthRun(t *testing.T) {
+	tl := NewCollector(10 * sim.Second).Finalize(0)
+	if len(tl.Windows) != 0 {
+		t.Fatalf("zero-length run produced %d windows: %+v", len(tl.Windows), tl.Windows)
+	}
+	if s := tl.CostSeries(); len(s.T) != 0 {
+		t.Fatalf("zero-length run produced a cost series: %+v", s)
+	}
+	if _, ok := tl.BaselineCost(0, 0); ok {
+		t.Fatal("zero-length run claims a baseline cost")
+	}
+}
+
+// TestFinalizeOnExactBoundary: a run ending exactly on a window edge closes
+// the last full window and appends no zero-width tail; ending mid-window
+// stamps the partial window's true end.
+func TestFinalizeOnExactBoundary(t *testing.T) {
+	const w = 10 * sim.Second
+	c := NewCollector(w)
+	c.OnGenerate(GenerateEvent{At: sim.Second})
+	tl := c.Finalize(w)
+	if len(tl.Windows) != 1 {
+		t.Fatalf("got %d windows, want 1", len(tl.Windows))
+	}
+	if tl.Windows[0].Start != 0 || tl.Windows[0].End != w {
+		t.Fatalf("boundary finalize produced wrong edges: %+v", tl.Windows[0])
+	}
+
+	c2 := NewCollector(w)
+	c2.OnGenerate(GenerateEvent{At: sim.Second})
+	tl2 := c2.Finalize(w/2 + 1)
+	if len(tl2.Windows) != 1 || tl2.Windows[0].End != w/2+1 {
+		t.Fatalf("partial finalize did not stamp the true end: %+v", tl2.Windows)
+	}
+}
+
+// TestEventsAtTimeZero: the simulator's first events carry At == 0 — the
+// very start of the first window, not "before" it.
+func TestEventsAtTimeZero(t *testing.T) {
+	const w = 10 * sim.Second
+	c := NewCollector(w)
+	c.OnTx(TxEvent{At: 0, Node: 1, Dest: 2, Sent: true, Acked: true})
+	c.OnTx(TxEvent{At: 0, Node: 1, Dest: packet.Broadcast, Sent: true})
+	c.OnDeliver(DeliverEvent{At: 0})
+	tl := c.Finalize(w)
+	if len(tl.Windows) != 1 {
+		t.Fatalf("got %d windows, want 1", len(tl.Windows))
+	}
+	got := tl.Windows[0]
+	if got.DataTx != 1 || got.DataAcked != 1 || got.BeaconTx != 1 || got.Delivered != 1 {
+		t.Fatalf("time-zero events miscounted: %+v", got)
+	}
+	if got.Cost() != 1 {
+		t.Fatalf("cost %v, want 1", got.Cost())
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fourbit/internal/core"
+	"fourbit/internal/sim"
+)
+
+// benchLines builds a representative wire stream: mostly footered beacons,
+// some tx/rx/age — the shape a scenario feed replays.
+func benchLines(n int) [][]byte {
+	r := sim.NewRand(0xBE7C)
+	var now int64
+	var seqs [32]uint16
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		now += 1 + r.Int63n(int64(sim.Second))
+		src := 1 + r.Intn(18)
+		var line string
+		switch k := r.Intn(10); {
+		case k < 6:
+			seqs[src]++
+			line = fmt.Sprintf(`{"ev":"beacon","at":%d,"src":%d,"seq":%d,"lqi":%d,"white":true,"links":[{"addr":0,"q":%d}]}`,
+				now, src, seqs[src], 40+r.Intn(80), r.Intn(256))
+		case k < 8:
+			line = fmt.Sprintf(`{"ev":"tx","at":%d,"dest":%d,"acked":%v}`, now, src, r.Bernoulli(0.7))
+		case k < 9:
+			line = fmt.Sprintf(`{"ev":"rx","at":%d,"src":%d,"lqi":%d}`, now, src, 40+r.Intn(60))
+		default:
+			line = fmt.Sprintf(`{"ev":"age","at":%d,"silence":%d}`, now, 2*int64(sim.Second))
+		}
+		out = append(out, []byte(line))
+	}
+	return out
+}
+
+// BenchmarkServeDecodeEvent measures the per-line cost of the strict wire
+// decoder — the hot edge of every ingest request. Budgeted in
+// scripts/alloc_budget.txt: the decoder's scratch reuse must hold.
+func BenchmarkServeDecodeEvent(b *testing.B) {
+	lines := benchLines(1024)
+	var dec EventDecoder
+	var ev Event
+	for _, line := range lines { // warm scratch: 1x runs measure steady state
+		if err := dec.Decode(line, &ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(lines[i%len(lines)], &ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeIngest measures end-to-end ingest throughput past the HTTP
+// edge: 8 concurrent instances, each decoding and applying a 512-event
+// batch per op through its bounded queue and worker, barrier-synced. The
+// reported events/sec is the service's per-process ceiling; allocs/op is
+// budgeted in scripts/alloc_budget.txt (steady-state slot and scratch reuse
+// across decoder, queue, and estimator).
+func BenchmarkServeIngest(b *testing.B) {
+	const instances = 8
+	const batch = 512
+	lines := benchLines(batch)
+	ins := make([]*instance, instances)
+	for i := range ins {
+		in, err := newInstance(fmt.Sprintf("bench-%d", i), core.KindFourBit, 0, core.DefaultConfig(),
+			uint64(i), 1024, Backpressure)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins[i] = in
+		defer func() { <-in.close() }()
+	}
+	run := func() {
+		var wg sync.WaitGroup
+		for _, in := range ins {
+			in := in
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var dec EventDecoder
+				var ev Event
+				for _, line := range lines {
+					if err := dec.Decode(line, &ev); err != nil {
+						b.Error(err)
+						return
+					}
+					for {
+						err := in.enqueue(&ev)
+						if err == nil {
+							break
+						}
+						if err != ErrQueueFull {
+							b.Error(err)
+							return
+						}
+						in.barrier(nil) // wait out the worker, then retry
+					}
+				}
+				in.barrier(nil)
+			}()
+		}
+		wg.Wait()
+	}
+	run() // warm slot buffers and tables so one-iteration runs are steady-state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(instances*batch*b.N)/b.Elapsed().Seconds(), "events/sec")
+}

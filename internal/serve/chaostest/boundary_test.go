@@ -1,0 +1,38 @@
+package chaostest
+
+import (
+	"testing"
+
+	"fourbit/internal/core"
+	"fourbit/internal/serve"
+)
+
+// TestRequestBoundariesAreInvisible: splitting one event stream across HTTP
+// requests at any point must not change what the estimator computes — no
+// per-request state (decoder scratch, scanner buffers) may leak into event
+// semantics. Regression test for a queue-slot aliasing bug where queued
+// beacon footers pointed into decoder scratch and were clobbered by later
+// lines of the same request.
+func TestRequestBoundariesAreInvisible(t *testing.T) {
+	for _, kind := range core.EstimatorKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			lines := newSynth(0xB0DD+uint64(len(kind)), false).lines(2400)
+
+			onePass, _ := boot(t, serve.Options{})
+			createInstance(t, onePass, "n", kind, 42)
+			ingest(t, onePass, "n", lines)
+
+			split, _ := boot(t, serve.Options{})
+			createInstance(t, split, "n", kind, 42)
+			prev := 0
+			for _, cut := range []int{17, 400, 1201, 2399, len(lines)} {
+				ingest(t, split, "n", lines[prev:cut])
+				prev = cut
+			}
+
+			sameView(t, "one pass vs split", getTable(t, onePass, "n"), getTable(t, split, "n"))
+		})
+	}
+}

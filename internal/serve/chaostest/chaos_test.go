@@ -1,0 +1,441 @@
+// Package chaostest is the fault-injection harness for the serving layer
+// (internal/serve): it certifies the crash-tolerance contract over the
+// public HTTP surface only. The harness drives synthesized event streams —
+// clean, dirty (duplicates, time warps, malformed lines), and hostile
+// (truncation, binary garbage) — through live servers and asserts the two
+// properties the service promises: faults are absorbed and surfaced in
+// counters (never a crash, never a silently wrong answer), and a
+// kill/snapshot/restore cycle yields answers bit-identical to an
+// uninterrupted run, for every registered estimator kind.
+package chaostest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"fourbit/internal/core"
+	"fourbit/internal/serve"
+	"fourbit/internal/sim"
+)
+
+// boot starts a serve.Server behind httptest and registers cleanup. The
+// returned kill func simulates a crash-adjacent shutdown: stop ingest,
+// drain, close the listener.
+func boot(t *testing.T, opts serve.Options) (base string, kill func()) {
+	t.Helper()
+	srv := serve.NewServer(opts)
+	ts := httptest.NewServer(srv)
+	done := false
+	kill = func() {
+		if done {
+			return
+		}
+		done = true
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		ts.Close()
+	}
+	t.Cleanup(kill)
+	return ts.URL, kill
+}
+
+func httpDo(t *testing.T, method, url, body string) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+func mustDo(t *testing.T, method, url, body string, want int) []byte {
+	t.Helper()
+	status, data, _ := httpDo(t, method, url, body)
+	if status != want {
+		t.Fatalf("%s %s: status %d (want %d): %s", method, url, status, want, data)
+	}
+	return data
+}
+
+func createInstance(t *testing.T, base, name string, kind core.EstimatorKind, seed uint64) {
+	t.Helper()
+	body := fmt.Sprintf(`{"name":%q,"kind":%q,"self":0,"seed":%d}`, name, kind, seed)
+	mustDo(t, http.MethodPost, base+"/v1/instances", body, http.StatusCreated)
+}
+
+// ingest streams lines in chunks smaller than any queue depth used by the
+// harness, with a barrier-synced query between chunks, so a live consumer
+// never sees overflow and robustness counters stay deterministic. Callers
+// that WANT overflow (paused consumers) post raw bodies instead.
+func ingest(t *testing.T, base, name string, lines []string) {
+	t.Helper()
+	const chunk = 512
+	for len(lines) > 0 {
+		n := chunk
+		if n > len(lines) {
+			n = len(lines)
+		}
+		mustDo(t, http.MethodPost, base+"/v1/instances/"+name+"/events",
+			strings.Join(lines[:n], "\n")+"\n", http.StatusOK)
+		lines = lines[n:]
+		if len(lines) > 0 {
+			getTable(t, base, name) // barrier: drain before the next chunk
+		}
+	}
+}
+
+// tableView is the decoded barrier-synced table answer; ETXHex carries the
+// exact float bits, so comparing views compares estimates bit for bit.
+type tableView struct {
+	Neighbors []struct {
+		Addr      int    `json:"addr"`
+		ETXHex    string `json:"etx_hex"`
+		HasETX    bool   `json:"has_etx"`
+		Pinned    bool   `json:"pinned"`
+		LastHeard int64  `json:"last_heard"`
+	} `json:"neighbors"`
+	Applied     uint64 `json:"applied"`
+	Quarantined bool   `json:"quarantined"`
+}
+
+func getTable(t *testing.T, base, name string) tableView {
+	t.Helper()
+	var v tableView
+	decodeJSON(t, mustDo(t, http.MethodGet, base+"/v1/instances/"+name+"/table", "", http.StatusOK), &v)
+	return v
+}
+
+type instStats struct {
+	Robust      serve.RobustStats `json:"robust"`
+	Estimator   map[string]any    `json:"estimator"`
+	Quarantined bool              `json:"quarantined"`
+	Queued      int               `json:"queued"`
+}
+
+func getStats(t *testing.T, base, name string) instStats {
+	t.Helper()
+	var v instStats
+	decodeJSON(t, mustDo(t, http.MethodGet, base+"/v1/instances/"+name+"/stats", "", http.StatusOK), &v)
+	return v
+}
+
+func decodeJSON(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+}
+
+// synth generates deterministic wire streams. Dirty mode injects the fault
+// classes the service must absorb: duplicate beacons, time warps
+// (out-of-order timestamps), and malformed lines. The same seed always
+// yields the same byte stream, so two servers fed the same synth output see
+// identical input — the precondition for bit-identity assertions.
+type synth struct {
+	r     *sim.Rand
+	now   int64
+	seqs  [32]uint16
+	last  string
+	dirty bool
+}
+
+func newSynth(seed uint64, dirty bool) *synth {
+	return &synth{r: sim.NewRand(seed), dirty: dirty}
+}
+
+func (s *synth) lines(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if s.dirty && s.last != "" && s.r.Bernoulli(0.04) {
+			out = append(out, s.last) // duplicate delivery
+			continue
+		}
+		if s.dirty && s.r.Bernoulli(0.02) {
+			out = append(out, `{"ev":"beacon","at":`) // torn line
+			continue
+		}
+		s.now += 1 + s.r.Int63n(int64(sim.Second))
+		at := s.now
+		if s.dirty && s.r.Bernoulli(0.03) {
+			at = s.now / 2 // time warp: far in the past
+		}
+		src := 1 + s.r.Intn(18)
+		var line string
+		switch k := s.r.Intn(10); {
+		case k < 6:
+			s.seqs[src]++
+			line = fmt.Sprintf(`{"ev":"beacon","at":%d,"src":%d,"seq":%d,"lqi":%d,"white":%v`,
+				at, src, s.seqs[src], 40+s.r.Intn(80), s.r.Bernoulli(0.5))
+			if s.r.Bernoulli(0.3) {
+				line += `,"snr":` + strconv.FormatFloat(s.r.Normal(8, 3), 'g', -1, 64)
+			}
+			if s.r.Bernoulli(0.5) {
+				line += fmt.Sprintf(`,"links":[{"addr":0,"q":%d}]`, s.r.Intn(256))
+			}
+			line += "}"
+		case k < 8:
+			line = fmt.Sprintf(`{"ev":"tx","at":%d,"dest":%d,"acked":%v}`, at, src, s.r.Bernoulli(0.7))
+		case k < 9:
+			line = fmt.Sprintf(`{"ev":"rx","at":%d,"src":%d,"lqi":%d}`, at, src, 40+s.r.Intn(60))
+		default:
+			line = fmt.Sprintf(`{"ev":"age","at":%d,"silence":%d}`, at, 2*int64(sim.Second))
+		}
+		s.last = line
+		out = append(out, line)
+	}
+	return out
+}
+
+// sameView asserts two barrier-synced table answers are bit-identical.
+func sameView(t *testing.T, label string, a, b tableView) {
+	t.Helper()
+	if a.Applied != b.Applied {
+		t.Fatalf("%s: applied %d vs %d", label, a.Applied, b.Applied)
+	}
+	if len(a.Neighbors) != len(b.Neighbors) {
+		t.Fatalf("%s: %d vs %d neighbors", label, len(a.Neighbors), len(b.Neighbors))
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatalf("%s: neighbor %d differs:\n%+v\n%+v", label, i, a.Neighbors[i], b.Neighbors[i])
+		}
+	}
+}
+
+// TestKillRestoreBitIdentical is the tentpole certification: for every
+// estimator kind, a server killed mid-stream, snapshotted, and restored
+// into a fresh process answers every subsequent query bit-identically to a
+// server that ingested the whole stream uninterrupted — including when the
+// stream itself is dirty (duplicates, time warps, malformed lines).
+func TestKillRestoreBitIdentical(t *testing.T) {
+	for _, dirty := range []bool{false, true} {
+		dirty := dirty
+		mode := "clean"
+		if dirty {
+			mode = "dirty"
+		}
+		for _, kind := range core.EstimatorKinds() {
+			kind := kind
+			t.Run(mode+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				lines := newSynth(0xC4A05+uint64(len(kind)), dirty).lines(2400)
+				half := len(lines) / 2
+
+				// Reference: one server, the whole stream, no interruption.
+				refBase, _ := boot(t, serve.Options{})
+				createInstance(t, refBase, "n", kind, 42)
+				ingest(t, refBase, "n", lines)
+				refTab := getTable(t, refBase, "n")
+				refStats := getStats(t, refBase, "n")
+
+				// Victim: half the stream, snapshot, kill.
+				vicBase, kill := boot(t, serve.Options{})
+				createInstance(t, vicBase, "n", kind, 42)
+				ingest(t, vicBase, "n", lines[:half])
+				snap := mustDo(t, http.MethodGet, vicBase+"/v1/instances/n/snapshot", "", http.StatusOK)
+				kill()
+
+				// Heir: fresh server, restore, the rest of the stream.
+				heirBase, _ := boot(t, serve.Options{})
+				mustDo(t, http.MethodPost, heirBase+"/v1/instances/n/restore", string(snap), http.StatusOK)
+				ingest(t, heirBase, "n", lines[half:])
+				heirTab := getTable(t, heirBase, "n")
+				heirStats := getStats(t, heirBase, "n")
+
+				sameView(t, "restored vs uninterrupted", refTab, heirTab)
+				if refStats.Robust != heirStats.Robust {
+					t.Fatalf("robust counters differ:\n%+v\n%+v", refStats.Robust, heirStats.Robust)
+				}
+				if !reflect.DeepEqual(refStats.Estimator, heirStats.Estimator) {
+					t.Fatalf("estimator counters differ:\n%v\n%v", refStats.Estimator, heirStats.Estimator)
+				}
+				if dirty {
+					// The dirt must be visible in counters, not hidden.
+					if refStats.Robust.DupBeacons == 0 || refStats.Robust.OutOfOrder == 0 || refStats.Robust.Malformed == 0 {
+						t.Fatalf("dirty stream left no trace in counters: %+v", refStats.Robust)
+					}
+				} else if refStats.Robust.Malformed != 0 {
+					t.Fatalf("clean stream counted malformed: %+v", refStats.Robust)
+				}
+			})
+		}
+	}
+}
+
+// TestHostileInputNeverKillsStream throws truncation, binary garbage, and
+// type confusion at a live instance inside one request: every bad line is
+// counted with context, every good line still lands, and the instance
+// keeps answering afterward.
+func TestHostileInputNeverKillsStream(t *testing.T) {
+	base, _ := boot(t, serve.Options{})
+	createInstance(t, base, "n", core.KindFourBit, 1)
+
+	body := strings.Join([]string{
+		`{"ev":"beacon","at":1000,"src":2,"seq":1,"lqi":90,"links":[{"addr":0,"q":200}]}`,
+		`{"ev":"beacon","at":2000,"src"`,   // truncated mid-key
+		"\x00\x01\x02 not even text \xff",  // binary garbage
+		`{"ev":"warp","at":3000}`,          // unknown kind
+		`{"ev":"tx","at":"soon","dest":2}`, // type confusion
+		`[1,2,3]`,                          // valid JSON, wrong shape
+		`{"ev":"tx","at":4000,"dest":2,"acked":true}`,
+		`{"ev":"rx","at":5000,"src":2,"lqi":77}`, // final line, no newline
+	}, "\n")
+	var rep struct {
+		Accepted  uint64 `json:"accepted"`
+		Malformed uint64 `json:"malformed"`
+		Lines     uint64 `json:"lines"`
+		LastError string `json:"last_error"`
+	}
+	decodeJSON(t, mustDo(t, http.MethodPost, base+"/v1/instances/n/events", body, http.StatusOK), &rep)
+	if rep.Accepted != 3 || rep.Malformed != 5 {
+		t.Fatalf("accepted %d malformed %d, want 3/5: %+v", rep.Accepted, rep.Malformed, rep)
+	}
+	if !strings.Contains(rep.LastError, "line 2") {
+		t.Fatalf("last_error lost line context: %q", rep.LastError)
+	}
+
+	tab := getTable(t, base, "n")
+	if tab.Applied != 3 || len(tab.Neighbors) != 1 || tab.Neighbors[0].Addr != 2 {
+		t.Fatalf("instance did not survive hostile input: %+v", tab)
+	}
+	st := getStats(t, base, "n")
+	if st.Robust.Malformed != 5 || st.Quarantined {
+		t.Fatalf("fault accounting wrong: %+v", st)
+	}
+}
+
+// TestOverlongLineAbortsWithoutCollateral: a line over MaxLineBytes tears
+// the stream (400) but everything accepted before it stays applied and the
+// instance remains healthy.
+func TestOverlongLineAbortsWithoutCollateral(t *testing.T) {
+	base, _ := boot(t, serve.Options{MaxLineBytes: 1 << 10})
+	createInstance(t, base, "n", core.KindFourBit, 1)
+	body := `{"ev":"beacon","at":1000,"src":2,"seq":1,"lqi":90}` + "\n" +
+		`{"ev":"beacon","at":2000,"src":2,"seq":2,"lqi":90,"pad":"` + strings.Repeat("x", 4096) + `"}` + "\n"
+	status, data, _ := httpDo(t, http.MethodPost, base+"/v1/instances/n/events", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("overlong line: status %d: %s", status, data)
+	}
+	tab := getTable(t, base, "n")
+	if tab.Applied != 1 || tab.Quarantined {
+		t.Fatalf("collateral damage from overlong line: %+v", tab)
+	}
+}
+
+// TestSlowConsumerBackpressure certifies both full-queue policies against a
+// wedged consumer: backpressure returns 429 with a Retry-After hint and
+// loses nothing it accepted; drop-oldest accepts everything and counts what
+// it shed. Either way the instance recovers when the consumer resumes.
+func TestSlowConsumerBackpressure(t *testing.T) {
+	lines := newSynth(7, false).lines(12)
+
+	t.Run("backpressure", func(t *testing.T) {
+		base, _ := boot(t, serve.Options{QueueDepth: 4, RetryAfter: 2 * time.Second})
+		createInstance(t, base, "n", core.KindFourBit, 1)
+		mustDo(t, http.MethodPost, base+"/v1/instances/n/pause", "", http.StatusOK)
+
+		status, data, hdr := httpDo(t, http.MethodPost, base+"/v1/instances/n/events", strings.Join(lines, "\n"))
+		if status != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429: %s", status, data)
+		}
+		if ra := hdr.Get("Retry-After"); ra != "2" {
+			t.Fatalf("Retry-After %q, want 2", ra)
+		}
+		var rep struct {
+			Accepted uint64 `json:"accepted"`
+		}
+		decodeJSON(t, data, &rep)
+		if rep.Accepted != 4 {
+			t.Fatalf("accepted %d with depth 4", rep.Accepted)
+		}
+
+		mustDo(t, http.MethodPost, base+"/v1/instances/n/resume", "", http.StatusOK)
+		tab := getTable(t, base, "n")
+		if tab.Applied != 4 {
+			t.Fatalf("applied %d after resume, want 4", tab.Applied)
+		}
+		// The consumer is live again: the retry goes through in full,
+		// paced at the queue depth as the Retry-After contract intends.
+		for i := 4; i < len(lines); i += 4 {
+			mustDo(t, http.MethodPost, base+"/v1/instances/n/events",
+				strings.Join(lines[i:i+4], "\n")+"\n", http.StatusOK)
+			getTable(t, base, "n")
+		}
+		if tab := getTable(t, base, "n"); tab.Applied != 12 {
+			t.Fatalf("applied %d after retry, want 12", tab.Applied)
+		}
+		if st := getStats(t, base, "n"); st.Robust.Backpressured == 0 {
+			t.Fatalf("backpressure left no trace: %+v", st.Robust)
+		}
+	})
+
+	t.Run("drop-oldest", func(t *testing.T) {
+		base, _ := boot(t, serve.Options{QueueDepth: 4, Policy: serve.DropOldest})
+		createInstance(t, base, "n", core.KindFourBit, 1)
+		mustDo(t, http.MethodPost, base+"/v1/instances/n/pause", "", http.StatusOK)
+		ingest(t, base, "n", lines) // all 12 accepted; 8 oldest shed
+		mustDo(t, http.MethodPost, base+"/v1/instances/n/resume", "", http.StatusOK)
+		tab := getTable(t, base, "n")
+		if tab.Applied != 12 {
+			t.Fatalf("applied %d, want 12 (dropped count as applied)", tab.Applied)
+		}
+		if st := getStats(t, base, "n"); st.Robust.DroppedOldest != 8 {
+			t.Fatalf("dropped_oldest %d, want 8", st.Robust.DroppedOldest)
+		}
+	})
+}
+
+// TestQuarantineSnapshotCarriesPostMortem: a poisoned instance freezes
+// rather than falling over; its snapshot restores into a clean, serving
+// instance on a fresh server — the documented operator recovery path.
+func TestQuarantineRecoveryPath(t *testing.T) {
+	base, _ := boot(t, serve.Options{AllowPoison: true})
+	createInstance(t, base, "n", core.KindFourBit, 1)
+	ingest(t, base, "n", newSynth(9, false).lines(40))
+	getTable(t, base, "n") // barrier: all 40 applied before the poison
+
+	mustDo(t, http.MethodPost, base+"/v1/instances/n/events", `{"ev":"poison","at":99999999}`+"\n", http.StatusOK)
+	deadline := time.Now().Add(5 * time.Second)
+	for !getStats(t, base, "n").Quarantined {
+		if time.Now().After(deadline) {
+			t.Fatal("instance never quarantined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	frozen := getTable(t, base, "n")
+
+	snap := mustDo(t, http.MethodGet, base+"/v1/instances/n/snapshot", "", http.StatusOK)
+	heirBase, _ := boot(t, serve.Options{})
+	mustDo(t, http.MethodPost, heirBase+"/v1/instances/n/restore", string(snap), http.StatusOK)
+	revived := getTable(t, heirBase, "n")
+	if revived.Quarantined {
+		t.Fatal("quarantine must not survive restore")
+	}
+	sameView(t, "revived vs frozen", frozen, revived)
+	// And the revived instance ingests again.
+	ingest(t, heirBase, "n", []string{`{"ev":"rx","at":100000000,"src":2,"lqi":70}`})
+	if tab := getTable(t, heirBase, "n"); tab.Applied != revived.Applied+1 {
+		t.Fatalf("revived instance not ingesting: %+v", tab)
+	}
+}

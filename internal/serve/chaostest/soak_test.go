@@ -1,0 +1,132 @@
+package chaostest
+
+import (
+	"flag"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fourbit/internal/core"
+	"fourbit/internal/serve"
+)
+
+var (
+	soak         = flag.Bool("soak", false, "run the serve soak (make serve-soak): sustained ingest plus one kill/restore cycle")
+	soakDuration = flag.Duration("soak-duration", 60*time.Second, "total soak wall time, split across the two phases around the kill")
+)
+
+// TestServeSoak is the nightly-style endurance run: two instances per
+// estimator kind under sustained concurrent ingest and queries for
+// -soak-duration, with one full kill/snapshot/restore cycle in the middle.
+// It passes when the service ends healthy: no quarantine, no malformed
+// counts from well-formed streams, every accepted event applied, and every
+// instance still answering. Run with:
+//
+//	go test ./internal/serve/chaostest -soak -v
+func TestServeSoak(t *testing.T) {
+	if !*soak {
+		t.Skip("soak disabled; run with -soak (make serve-soak)")
+	}
+
+	type inst struct {
+		name string
+		kind core.EstimatorKind
+		gen  *synth // client-side stream state survives the kill
+	}
+	var insts []*inst
+	for i, kind := range core.EstimatorKinds() {
+		for j := 0; j < 2; j++ {
+			insts = append(insts, &inst{
+				name: string(kind) + "-" + string(rune('a'+j)),
+				kind: kind,
+				gen:  newSynth(uint64(1000+i*10+j), false),
+			})
+		}
+	}
+	opts := serve.Options{QueueDepth: 512, RetryAfter: time.Second}
+
+	var accepted, queries atomic.Uint64
+	// phase drives every instance with a producer and a querier until the
+	// deadline, then joins them. Producers honor backpressure.
+	phase := func(base string, d time.Duration) {
+		deadline := time.Now().Add(d)
+		var wg sync.WaitGroup
+		for _, in := range insts {
+			in := in
+			wg.Add(1)
+			go func() { // producer
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					body := strings.Join(in.gen.lines(200), "\n") + "\n"
+					status, _, hdr := httpDo(t, http.MethodPost, base+"/v1/instances/"+in.name+"/events", body)
+					switch status {
+					case http.StatusOK:
+						accepted.Add(200)
+					case http.StatusTooManyRequests:
+						if ra, err := time.ParseDuration(hdr.Get("Retry-After") + "s"); err == nil {
+							time.Sleep(ra)
+						}
+						// Partial batches were accepted; resynthesize rather
+						// than resend — the soak cares about load, not replay.
+					default:
+						t.Errorf("%s: ingest status %d", in.name, status)
+						return
+					}
+				}
+			}()
+			wg.Add(1)
+			go func() { // querier
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					status, _, _ := httpDo(t, http.MethodGet, base+"/v1/instances/"+in.name+"/stats", "")
+					if status != http.StatusOK {
+						t.Errorf("%s: stats status %d", in.name, status)
+						return
+					}
+					queries.Add(1)
+					time.Sleep(10 * time.Millisecond)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	base, kill := boot(t, opts)
+	for _, in := range insts {
+		createInstance(t, base, in.name, in.kind, 7)
+	}
+	phase(base, *soakDuration/2)
+
+	// Kill/restore cycle: snapshot every instance, tear the server down,
+	// boot a fresh one, restore, and keep going.
+	snaps := make(map[string][]byte, len(insts))
+	for _, in := range insts {
+		snaps[in.name] = mustDo(t, http.MethodGet, base+"/v1/instances/"+in.name+"/snapshot", "", http.StatusOK)
+	}
+	kill()
+	t.Logf("killed server halfway: %d events accepted so far", accepted.Load())
+	base, _ = boot(t, opts)
+	for _, in := range insts {
+		mustDo(t, http.MethodPost, base+"/v1/instances/"+in.name+"/restore", string(snaps[in.name]), http.StatusOK)
+	}
+	phase(base, *soakDuration/2)
+
+	for _, in := range insts {
+		tab := getTable(t, base, in.name) // barrier: everything applied
+		if tab.Quarantined {
+			t.Errorf("%s: quarantined", in.name)
+		}
+		st := getStats(t, base, in.name)
+		if st.Robust.Malformed != 0 || st.Robust.Panics != 0 {
+			t.Errorf("%s: faults from well-formed stream: %+v", in.name, st.Robust)
+		}
+		if st.Robust.Applied != st.Robust.Enqueued {
+			t.Errorf("%s: %d enqueued but %d applied after barrier", in.name, st.Robust.Enqueued, st.Robust.Applied)
+		}
+	}
+	t.Logf("soak done: %d events accepted, %d queries, %d instances, one kill/restore cycle",
+		accepted.Load(), queries.Load(), len(insts))
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"io"
+	"strconv"
+	"sync"
+
+	"fourbit/internal/core"
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// FeedRecorder is a pass-through core.LinkEstimator decorator that writes
+// every feedback-hook call as one serve-wire JSONL line before delegating.
+// Wrapping a simulated node's estimator with it (node.EnvConfig.WrapEstimator)
+// taps that node's exact estimator event stream out of a run; replaying the
+// file into a served instance of the same kind, seed, and config reproduces
+// the node's table — the bridge from scenario to service.
+//
+// The recorder changes nothing the inner estimator sees, so the run itself
+// stays bit-identical. Write errors are sticky and surfaced by Err; the
+// simulation is never interrupted by a full disk.
+type FeedRecorder struct {
+	core.LinkEstimator
+	mu     sync.Mutex
+	w      io.Writer
+	buf    []byte
+	lastAt sim.Time // latest hook time; stamps tx lines, whose hook has no clock
+	err    error
+}
+
+// NewFeedRecorder wraps est, emitting its event stream to w. Callers own
+// w's buffering and closing; a bufio.Writer is recommended.
+func NewFeedRecorder(est core.LinkEstimator, w io.Writer) *FeedRecorder {
+	return &FeedRecorder{LinkEstimator: est, w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first write error, if any.
+func (r *FeedRecorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// flush writes the assembled line (newline-terminated) once; errors stick.
+func (r *FeedRecorder) flush() {
+	r.buf = append(r.buf, '\n')
+	if r.err == nil {
+		_, r.err = r.w.Write(r.buf)
+	}
+}
+
+// appendMeta appends the shared rx-metadata fields.
+func (r *FeedRecorder) appendMeta(meta core.RxMeta) {
+	r.buf = append(r.buf, `,"lqi":`...)
+	r.buf = strconv.AppendUint(r.buf, uint64(meta.LQI), 10)
+	r.buf = append(r.buf, `,"white":`...)
+	r.buf = strconv.AppendBool(r.buf, meta.White)
+	if meta.SNRdB != 0 {
+		r.buf = append(r.buf, `,"snr":`...)
+		r.buf = strconv.AppendFloat(r.buf, meta.SNRdB, 'g', -1, 64)
+	}
+}
+
+// head begins a line: {"ev":"<ev>","at":<at>.
+func (r *FeedRecorder) head(ev string, at sim.Time) {
+	if at > r.lastAt {
+		r.lastAt = at
+	}
+	r.buf = append(r.buf[:0], `{"ev":"`...)
+	r.buf = append(r.buf, ev...)
+	r.buf = append(r.buf, `","at":`...)
+	r.buf = strconv.AppendInt(r.buf, int64(at), 10)
+}
+
+// OnBeacon records the beacon (envelope fields and footer included) and
+// delegates.
+func (r *FeedRecorder) OnBeacon(src packet.Addr, le *packet.LEFrame, meta core.RxMeta, now sim.Time) ([]byte, bool) {
+	r.mu.Lock()
+	r.head(EvBeacon, now)
+	r.buf = append(r.buf, `,"src":`...)
+	r.buf = strconv.AppendUint(r.buf, uint64(src), 10)
+	r.buf = append(r.buf, `,"seq":`...)
+	r.buf = strconv.AppendUint(r.buf, uint64(le.Seq), 10)
+	r.appendMeta(meta)
+	if len(le.Entries) > 0 {
+		r.buf = append(r.buf, `,"links":[`...)
+		for i, e := range le.Entries {
+			if i > 0 {
+				r.buf = append(r.buf, ',')
+			}
+			r.buf = append(r.buf, `{"addr":`...)
+			r.buf = strconv.AppendUint(r.buf, uint64(e.Addr), 10)
+			r.buf = append(r.buf, `,"q":`...)
+			r.buf = strconv.AppendUint(r.buf, uint64(e.InQuality), 10)
+			r.buf = append(r.buf, '}')
+		}
+		r.buf = append(r.buf, ']')
+	}
+	r.buf = append(r.buf, '}')
+	r.flush()
+	r.mu.Unlock()
+	return r.LinkEstimator.OnBeacon(src, le, meta, now)
+}
+
+// TxResult records the ack bit and delegates. The wire carries no time for
+// tx events from this path (the hook has none); the server's monotone
+// ingest clock orders them after the preceding beacon/rx event, which is
+// exactly where they happened.
+func (r *FeedRecorder) TxResult(dest packet.Addr, acked bool) {
+	r.mu.Lock()
+	r.head(EvTx, r.lastAtLocked())
+	r.buf = append(r.buf, `,"dest":`...)
+	r.buf = strconv.AppendUint(r.buf, uint64(dest), 10)
+	r.buf = append(r.buf, `,"acked":`...)
+	r.buf = strconv.AppendBool(r.buf, acked)
+	r.buf = append(r.buf, '}')
+	r.flush()
+	r.mu.Unlock()
+	r.LinkEstimator.TxResult(dest, acked)
+}
+
+// OnOverhear records the overheard frame and delegates.
+func (r *FeedRecorder) OnOverhear(src packet.Addr, meta core.RxMeta, now sim.Time) {
+	r.mu.Lock()
+	r.head(EvRx, now)
+	r.buf = append(r.buf, `,"src":`...)
+	r.buf = strconv.AppendUint(r.buf, uint64(src), 10)
+	r.appendMeta(meta)
+	r.buf = append(r.buf, '}')
+	r.flush()
+	r.mu.Unlock()
+	r.LinkEstimator.OnOverhear(src, meta, now)
+}
+
+// Age records the aging pass and delegates.
+func (r *FeedRecorder) Age(maxSilence sim.Time, now sim.Time) {
+	r.mu.Lock()
+	r.head(EvAge, now)
+	r.buf = append(r.buf, `,"silence":`...)
+	r.buf = strconv.AppendInt(r.buf, int64(maxSilence), 10)
+	r.buf = append(r.buf, '}')
+	r.flush()
+	r.mu.Unlock()
+	r.LinkEstimator.Age(maxSilence, now)
+}
+
+func (r *FeedRecorder) lastAtLocked() sim.Time { return r.lastAt }

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"fourbit/internal/core"
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// TestFeedRecorderReplayReproducesEstimator is the recorder's contract: a
+// stream recorded from a live estimator and replayed through the wire
+// decoder into a fresh estimator of the same kind/seed/config rebuilds the
+// same table, bit for bit — the scenario-to-service bridge.
+func TestFeedRecorderReplayReproducesEstimator(t *testing.T) {
+	for _, kind := range core.EstimatorKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			inner, err := core.NewKind(kind, 0, cfg, nil, sim.NewCountedRand(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			rec := NewFeedRecorder(inner, &buf)
+
+			// Drive the recorder with a deterministic mixed stream.
+			script := sim.NewRand(0xFEED)
+			now := sim.Time(0)
+			seqs := map[packet.Addr]uint16{}
+			var le packet.LEFrame
+			for i := 0; i < 3000; i++ {
+				now += sim.Time(script.Int63n(int64(sim.Second)))
+				src := packet.Addr(1 + script.Intn(20))
+				switch k := script.Intn(10); {
+				case k < 6:
+					seqs[src]++
+					le = packet.LEFrame{Seq: seqs[src]}
+					if script.Bernoulli(0.6) {
+						le.Entries = []packet.LinkEntry{{Addr: 0, InQuality: uint8(script.Intn(256))}}
+					}
+					meta := core.RxMeta{White: script.Bernoulli(0.5), LQI: uint8(50 + script.Intn(60))}
+					if script.Bernoulli(0.3) {
+						meta.SNRdB = script.Normal(8, 3)
+					}
+					rec.OnBeacon(src, &le, meta, now)
+				case k < 8:
+					rec.TxResult(src, script.Bernoulli(0.7))
+				case k < 9:
+					rec.OnOverhear(src, core.RxMeta{LQI: uint8(40 + script.Intn(60))}, now)
+				default:
+					rec.Age(2*sim.Second, now)
+				}
+			}
+			if err := rec.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Replay through the wire decoder into a twin estimator.
+			twin, err := core.NewKind(kind, 0, cfg, nil, sim.NewCountedRand(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dec EventDecoder
+			var ev Event
+			var relay packet.LEFrame
+			lines := 0
+			for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+				if len(line) == 0 {
+					continue
+				}
+				lines++
+				if err := dec.Decode(line, &ev); err != nil {
+					t.Fatalf("line %d %q: %v", lines, line, err)
+				}
+				switch ev.Ev {
+				case EvBeacon:
+					relay = packet.LEFrame{Seq: ev.Seq, Entries: ev.Links}
+					twin.OnBeacon(ev.Src, &relay, core.RxMeta{White: ev.White, LQI: ev.LQI, SNRdB: ev.SNR}, ev.At)
+				case EvTx:
+					twin.TxResult(ev.Src, ev.Acked)
+				case EvRx:
+					twin.OnOverhear(ev.Src, core.RxMeta{White: ev.White, LQI: ev.LQI, SNRdB: ev.SNR}, ev.At)
+				case EvAge:
+					twin.Age(ev.Silence, ev.At)
+				}
+			}
+			if lines != 3000 {
+				t.Fatalf("recorded %d lines, want 3000", lines)
+			}
+
+			if inner.Counters() != twin.Counters() {
+				t.Fatalf("counters differ:\n%+v\n%+v", inner.Counters(), twin.Counters())
+			}
+			for addr := packet.Addr(0); addr < 24; addr++ {
+				qa, oka := inner.Quality(addr)
+				qb, okb := twin.Quality(addr)
+				if oka != okb || math.Float64bits(qa) != math.Float64bits(qb) {
+					t.Fatalf("quality for %v differs: (%x,%v) vs (%x,%v)", addr, qa, oka, qb, okb)
+				}
+			}
+			na, nb := inner.Neighbors(), twin.Neighbors()
+			if len(na) != len(nb) {
+				t.Fatalf("neighbors differ: %v vs %v", na, nb)
+			}
+			for i := range na {
+				if na[i] != nb[i] {
+					t.Fatalf("neighbor order differs: %v vs %v", na, nb)
+				}
+			}
+		})
+	}
+}
+
+// TestFeedRecorderPassThrough: wrapping changes nothing the inner estimator
+// computes (same rng draws, same results as an unwrapped twin).
+func TestFeedRecorderPassThrough(t *testing.T) {
+	cfg := core.DefaultConfig()
+	plain := core.New(0, cfg, nil, sim.NewCountedRand(3))
+	wrapped := NewFeedRecorder(core.New(0, cfg, nil, sim.NewCountedRand(3)), &bytes.Buffer{})
+
+	var le packet.LEFrame
+	for i := 1; i <= 500; i++ {
+		src := packet.Addr(1 + i%15)
+		le = packet.LEFrame{Seq: uint16(i), Entries: []packet.LinkEntry{{Addr: 0, InQuality: 200}}}
+		meta := core.RxMeta{White: i%2 == 0, LQI: 90}
+		now := sim.Time(i) * sim.Second
+		plain.OnBeacon(src, &le, meta, now)
+		le = packet.LEFrame{Seq: uint16(i), Entries: []packet.LinkEntry{{Addr: 0, InQuality: 200}}}
+		wrapped.OnBeacon(src, &le, meta, now)
+		plain.TxResult(src, i%3 != 0)
+		wrapped.TxResult(src, i%3 != 0)
+	}
+	if plain.Counters() != wrapped.Counters() {
+		t.Fatalf("counters diverged: %+v vs %+v", plain.Counters(), wrapped.Counters())
+	}
+	for addr := packet.Addr(0); addr < 16; addr++ {
+		qa, oka := plain.Quality(addr)
+		qb, okb := wrapped.Quality(addr)
+		if oka != okb || math.Float64bits(qa) != math.Float64bits(qb) {
+			t.Fatalf("quality for %v diverged", addr)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fourbit/internal/packet"
+)
+
+// FuzzDecodeEvent drives arbitrary lines through the ingest wire decoder.
+// Three properties, one per robustness promise: it never panics (malformed
+// input must not kill a stream), every rejection maps onto exactly one
+// typed error (callers branch on them), and a reused decoder behaves
+// exactly like a fresh one (scratch reuse must never change outcomes —
+// the property the chaostest harness caught a queue-slot aliasing bug
+// against).
+func FuzzDecodeEvent(f *testing.F) {
+	f.Add([]byte(`{"ev":"beacon","at":1,"src":2,"seq":3,"lqi":99,"white":true,"snr":7.5,"links":[{"addr":0,"q":200}]}`))
+	f.Add([]byte(`{"ev":"tx","at":5,"dest":3,"acked":true}`))
+	f.Add([]byte(`{"ev":"rx","at":5,"src":3,"lqi":80}`))
+	f.Add([]byte(`{"ev":"age","at":5,"silence":1000}`))
+	f.Add([]byte(`{"ev":"poison","at":5}`))
+	f.Add([]byte(`{"ev":"beacon","at":-1}`))
+	f.Add([]byte(`{"ev":`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[{"ev":"tx"}]`))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var fresh Event
+		freshDec := EventDecoder{AllowPoison: true}
+		freshErr := freshDec.Decode(line, &fresh)
+
+		// A decoder that has chewed through other lines first must agree.
+		var reused Event
+		reusedDec := EventDecoder{AllowPoison: true}
+		_ = reusedDec.Decode([]byte(`{"ev":"beacon","at":9,"src":8,"seq":7,"lqi":6,"links":[{"addr":1,"q":2},{"addr":3,"q":4}]}`), &reused)
+		reusedErr := reusedDec.Decode(line, &reused)
+
+		if (freshErr == nil) != (reusedErr == nil) {
+			t.Fatalf("fresh err %v vs reused err %v", freshErr, reusedErr)
+		}
+		if freshErr != nil {
+			n := 0
+			for _, sentinel := range []error{ErrEventSyntax, ErrEventKind, ErrEventField} {
+				if errors.Is(freshErr, sentinel) {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("error maps onto %d sentinels, want exactly 1: %v", n, freshErr)
+			}
+			if !errors.Is(reusedErr, ErrEventSyntax) && !errors.Is(reusedErr, ErrEventKind) && !errors.Is(reusedErr, ErrEventField) {
+				t.Fatalf("reused decoder returned untyped error: %v", reusedErr)
+			}
+			return
+		}
+
+		// Accepted events carry only in-range, fully-reset fields.
+		switch fresh.Ev {
+		case EvBeacon, EvTx, EvRx, EvAge, EvPoison:
+		default:
+			t.Fatalf("accepted unknown kind %q", fresh.Ev)
+		}
+		if fresh.At < 0 {
+			t.Fatalf("accepted negative at %d", fresh.At)
+		}
+		if len(fresh.Links) > packet.MaxLinkEntries {
+			t.Fatalf("accepted %d footer entries", len(fresh.Links))
+		}
+		if fresh.Ev != EvBeacon && len(fresh.Links) != 0 {
+			t.Fatalf("%s event leaked %d footer entries from scratch", fresh.Ev, len(fresh.Links))
+		}
+		if len(fresh.Links) != len(reused.Links) {
+			t.Fatalf("reused decoder footer count diverged: %d vs %d", len(fresh.Links), len(reused.Links))
+		}
+		for i := range fresh.Links {
+			if fresh.Links[i] != reused.Links[i] {
+				t.Fatalf("footer %d diverged: %+v vs %+v", i, fresh.Links[i], reused.Links[i])
+			}
+		}
+		if fresh.Ev != reused.Ev || fresh.At != reused.At || fresh.Src != reused.Src ||
+			fresh.Seq != reused.Seq || fresh.LQI != reused.LQI || fresh.White != reused.White ||
+			math.Float64bits(fresh.SNR) != math.Float64bits(reused.SNR) ||
+			fresh.Acked != reused.Acked || fresh.Silence != reused.Silence {
+			t.Fatalf("reused decoder diverged:\n fresh  %+v\n reused %+v", fresh, reused)
+		}
+	})
+}

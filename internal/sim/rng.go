@@ -51,11 +51,70 @@ func splitmix64(x uint64) uint64 {
 // SplitMix64.
 type Rand struct {
 	*rand.Rand
+	counted *countingSource // nil for ordinary (un-snapshotable) streams
 }
 
 // NewRand returns a stream seeded with seed.
 func NewRand(seed uint64) *Rand {
-	return &Rand{rand.New(rand.NewSource(int64(splitmix64(seed))))}
+	return &Rand{Rand: rand.New(rand.NewSource(int64(splitmix64(seed))))}
+}
+
+// countingSource wraps the stdlib source and counts state-advancing draws,
+// so a counted Rand's position in its stream is (seed, draws) — the whole
+// state the estimator snapshot/restore path needs. It deliberately does NOT
+// implement rand.Source64: math/rand then derives Uint64 from two Int63
+// calls, so every state transition funnels through Int63 and one counter
+// fully determines the stream position.
+type countingSource struct {
+	src   rand.Source
+	seed  uint64
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// NewCountedRand returns a stream that yields exactly the values of
+// NewRand(seed) for every Int63-derived draw (Float64, Intn, Normal, Exp,
+// Bernoulli, ... — everything the estimators use) while tracking its draw
+// position, so SnapshotState can serialize it and RestoreCountedRand can
+// rebuild it mid-stream. Long-running estimator instances (internal/serve)
+// are built over counted streams; simulation streams stay uncounted and pay
+// nothing.
+func NewCountedRand(seed uint64) *Rand {
+	cs := &countingSource{src: rand.NewSource(int64(splitmix64(seed))), seed: seed}
+	return &Rand{Rand: rand.New(cs), counted: cs}
+}
+
+// RestoreCountedRand returns a counted stream fast-forwarded to the given
+// draw position: it is bit-identical, draw for draw, to NewCountedRand(seed)
+// after draws state advances. Replay cost is one source step per draw
+// (~ns); estimator streams advance only on admission decisions, so
+// positions stay small.
+func RestoreCountedRand(seed uint64, draws uint64) *Rand {
+	r := NewCountedRand(seed)
+	for i := uint64(0); i < draws; i++ {
+		r.counted.src.Int63()
+	}
+	r.counted.draws = draws
+	return r
+}
+
+// SnapshotState reports the stream's seed and draw position. ok is false
+// for streams not built with NewCountedRand/RestoreCountedRand — their
+// position is unobservable and they cannot be snapshotted.
+func (r *Rand) SnapshotState() (seed, draws uint64, ok bool) {
+	if r.counted == nil {
+		return 0, 0, false
+	}
+	return r.counted.seed, r.counted.draws, true
 }
 
 // Bernoulli returns true with probability p (clamped to [0,1]).
