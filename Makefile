@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet tier1 bench bench-smoke bench-guard docs lint golden golden-check race-probe city-scale-smoke serve-race fuzz-smoke serve-soak clean
+.PHONY: all build test vet tier1 bench bench-smoke bench-guard docs lint golden golden-check race-probe city-scale-smoke shard-race serve-race fuzz-smoke serve-soak clean
 
 all: build
 
@@ -51,11 +51,12 @@ golden:
 # CI guard that a PR did not drift the model without regenerating — or
 # regenerate without saying so; either way the diff makes it visible). It
 # also asserts every golden config still compiles to the dense channel
-# representation: the goldens certify the dense reference trajectories, so
-# a threshold change that silently flipped them to the sparse path would
-# hollow out what they certify.
+# representation AND the serial event loop: the goldens certify the dense,
+# serial reference trajectories, so a threshold change that silently
+# flipped them to the sparse path or the sharded loop would hollow out
+# what they certify.
 golden-check:
-	$(GO) test ./internal/experiment -run 'TestGoldenRunFingerprints|TestGoldenConfigsSelectDensePath' -count=1
+	$(GO) test ./internal/experiment -run 'TestGoldenRunFingerprints|TestGoldenConfigsSelectDensePath|TestGoldenConfigsSelectSerialPath' -count=1
 	$(GO) test ./internal/scenario -run TestGoldenTimelineFigure -count=1
 
 # city-scale-smoke boots the 2000-node city corridor preset over the
@@ -66,6 +67,18 @@ golden-check:
 city-scale-smoke:
 	$(GO) test -race -count=1 -run 'TestCityPresetsSelectSparse|TestCityScaleSmoke' ./internal/scenario
 	$(GO) test -count=1 -run TestGoldenConfigsSelectDensePath ./internal/experiment
+
+# shard-race runs the region-sharded dispatch surface under the race
+# detector: the coordinator/worker barrier protocol, the cross-shard frame
+# handoff (trace-exact merge, silent timers), and a full sharded
+# protocol run with barrier-control dynamics. The shard-count differential
+# matrices skip under -race (they are minutes-long city runs; their
+# determinism claim is certified without the detector) — this target is
+# the race coverage sized FOR the detector.
+shard-race:
+	$(GO) test -race -count=1 ./internal/sim
+	$(GO) test -race -count=1 -run 'TestShard' ./internal/phy
+	$(GO) test -race -count=1 -run 'TestShardDispatchRace|TestMultiSinkSmoke' ./internal/experiment ./internal/scenario
 
 # race-probe runs the probe-bus test surface under the race detector: the
 # bus itself is single-threaded per run, but many probed runs execute

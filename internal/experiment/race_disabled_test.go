@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiment
+
+// raceEnabled: see race_enabled_test.go.
+const raceEnabled = false

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"fourbit/internal/collect"
@@ -132,6 +133,59 @@ type RunConfig struct {
 	// estimator-feed recording rides here. Applied on top of Env when both
 	// are set; pass-through decorators keep the run bit-identical.
 	WrapEstimator func(addr packet.Addr, est core.LinkEstimator) core.LinkEstimator
+	// Shards selects the region-sharded parallel event loop. 0 (the
+	// default) auto-selects: city-scale populations (>= DefaultShardAboveN
+	// nodes) run sharded with min(8, NumCPU) shards unless the run needs a
+	// serial-only feature (TimelineWindow, WrapEstimator); everything else
+	// — including every golden config — stays on the serial path
+	// byte-for-byte. >= 1 forces that shard count (1 included: the sharded
+	// machinery with a single shard, which is NOT the serial path — sharded
+	// results are invariant to the shard count but differ from serial).
+	// -1 forces serial regardless of size. Like Env.Seed, the value wins
+	// over any Shards set inside an Env override.
+	Shards int
+	// ExtraSinks lists additional collection roots beyond Topo.Root (the
+	// multi-sink workload). Every sink runs a root-mode router and counts
+	// deliveries into one shared ledger; per-origin delivery dedupes across
+	// sinks. Empty keeps the classic single-sink run bit-for-bit.
+	ExtraSinks []int
+}
+
+// DefaultShardAboveN is the population at which Shards == 0 auto-selects
+// the sharded event loop. The threshold is a node count, not a machine
+// property, so *whether* a config shards never depends on the host; only
+// the shard count does, and results are invariant to it.
+const DefaultShardAboveN = 1024
+
+// resolveShards returns the effective shard count for a run: 0 for the
+// serial path, >= 1 for the sharded loop. Forcing shards alongside
+// TimelineWindow is a programming error — the probe collector is a
+// serial-path observer (scenario validation rejects the combination with
+// a friendlier message upstream).
+func resolveShards(rc RunConfig) int {
+	switch {
+	case rc.Shards < 0:
+		return 0
+	case rc.Shards > 0:
+		if rc.TimelineWindow > 0 {
+			panic("experiment: TimelineWindow requires the serial path; unset Shards")
+		}
+		return rc.Shards
+	}
+	if rc.TimelineWindow > 0 || rc.WrapEstimator != nil {
+		return 0
+	}
+	if rc.Topo.N() < DefaultShardAboveN {
+		return 0
+	}
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	if n > 8 {
+		n = 8
+	}
+	return n
 }
 
 // DefaultRunConfig returns the standard 25-minute Mirage-style run.
@@ -230,6 +284,10 @@ func resolveEnv(rc RunConfig) node.EnvConfig {
 	if rc.WrapEstimator != nil {
 		envCfg.WrapEstimator = rc.WrapEstimator
 	}
+	envCfg.Shards = resolveShards(rc)
+	if rc.ExtraSinks != nil {
+		envCfg.ExtraRoots = rc.ExtraSinks
+	}
 	return envCfg
 }
 
@@ -248,7 +306,7 @@ func Run(rc RunConfig) *Result {
 	var parents func() []int
 	var dataTx, beaconTx func() uint64
 	var estStats func() core.Stats
-	var ledger *collect.Ledger
+	var finalize func() *collect.Ledger
 
 	if rc.Protocol == ProtoMultiHopLQI {
 		lqiCfg := lqirouter.DefaultConfig()
@@ -256,7 +314,7 @@ func Run(rc RunConfig) *Result {
 			lqiCfg = *rc.LQI
 		}
 		net := node.BuildLQI(env, lqiCfg, rc.Workload)
-		parents, ledger = net.Parents, net.Ledger
+		parents, finalize = net.Parents, net.FinalizeLedger
 		dataTx, beaconTx = net.DataTransmissions, net.BeaconTransmissions
 	} else {
 		ctpCfg := ctp.DefaultConfig()
@@ -268,24 +326,61 @@ func Run(rc RunConfig) *Result {
 			estCfg = *rc.Est
 		}
 		net := node.BuildCTPKind(env, ctpCfg, estCfg, rc.Estimator, rc.Workload)
-		parents, ledger = net.Parents, net.Ledger
+		parents, finalize = net.Parents, net.FinalizeLedger
 		dataTx, beaconTx = net.DataTransmissions, net.BeaconTransmissions
 		estStats = func() core.Stats { return core.SumStats(net.Ests) }
+	}
+
+	// Depth accounting generalizes to multi-sink runs; single-sink runs
+	// keep calling the original single-root helpers byte-for-byte.
+	roots := env.Roots()
+	depthsOf := func(p []int) []int {
+		if len(roots) > 1 {
+			return metrics.TreeDepthsMulti(p, roots)
+		}
+		return metrics.TreeDepths(p, rc.Topo.Root)
+	}
+	meanOf := func(depths []int) (float64, int, int) {
+		if len(roots) > 1 {
+			return metrics.MeanDepthMulti(depths, roots)
+		}
+		return metrics.MeanDepth(depths, rc.Topo.Root)
 	}
 
 	var depthSum float64
 	var depthSamples int
 	sampler := func() {
-		depths := metrics.TreeDepths(parents(), rc.Topo.Root)
-		mean, connected, _ := metrics.MeanDepth(depths, rc.Topo.Root)
+		depths := depthsOf(parents())
+		mean, connected, _ := meanOf(depths)
 		if connected > 0 {
 			depthSum += mean
 			depthSamples++
 		}
 	}
-	env.Clock.Every(rc.Warmup, rc.SampleEvery, sampler)
-
-	env.Clock.RunUntil(rc.Duration)
+	if env.Sharded() {
+		// Samplers are coordinator work: they read every shard's router
+		// state, so they may only run at epoch barriers. ScheduleControl
+		// snaps each firing to the next barrier — barrier positions depend
+		// only on the epoch length, never on the shard count, so sampling
+		// instants are shard-count invariant. The control re-arms itself.
+		var arm func(at sim.Time)
+		arm = func(at sim.Time) {
+			if at > rc.Duration {
+				return
+			}
+			env.ScheduleControl(at, func() {
+				sampler()
+				arm(at + rc.SampleEvery)
+			})
+		}
+		arm(rc.Warmup)
+		env.Group.RunUntil(rc.Duration)
+		env.Close()
+	} else {
+		env.Clock.Every(rc.Warmup, rc.SampleEvery, sampler)
+		env.Clock.RunUntil(rc.Duration)
+	}
+	ledger := finalize()
 
 	estKind := rc.Estimator
 	if rc.Protocol == ProtoMultiHopLQI {
@@ -307,9 +402,12 @@ func Run(rc RunConfig) *Result {
 		MeanHops:   ledger.MeanHops(),
 		Events:     env.Clock.Events(),
 	}
+	if env.Sharded() {
+		res.Events = env.Group.Events()
+	}
 	res.DeliveryRatio = ledger.TotalDeliveryRatio()
 	for i := 0; i < rc.Topo.N(); i++ {
-		if i == rc.Topo.Root {
+		if env.IsRoot(i) {
 			continue
 		}
 		res.PerNodeDelivery = append(res.PerNodeDelivery, ledger.DeliveryRatio(packet.Addr(i)))
@@ -318,13 +416,13 @@ func Run(rc RunConfig) *Result {
 		res.Cost = float64(res.DataTx) / float64(res.Unique)
 	}
 	res.FinalParents = parents()
-	res.FinalDepths = metrics.TreeDepths(res.FinalParents, rc.Topo.Root)
+	res.FinalDepths = depthsOf(res.FinalParents)
 	if depthSamples > 0 {
 		res.MeanDepth = depthSum / float64(depthSamples)
 	} else {
-		res.MeanDepth, _, _ = metrics.MeanDepth(res.FinalDepths, rc.Topo.Root)
+		res.MeanDepth, _, _ = meanOf(res.FinalDepths)
 	}
-	_, _, res.Detached = metrics.MeanDepth(res.FinalDepths, rc.Topo.Root)
+	_, _, res.Detached = meanOf(res.FinalDepths)
 	if estStats != nil {
 		s := estStats()
 		res.EstInserted, res.EstReplaced, res.EstRejected = s.Inserted, s.Replaced, s.RejectedFull

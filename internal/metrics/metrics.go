@@ -198,6 +198,85 @@ func TreeDepths(parents []int, root int) []int {
 	return depths
 }
 
+// TreeDepthsMulti is TreeDepths for a forest with several sinks (the
+// multi-sink collection workload): every root anchors at depth 0 and each
+// node's depth is its hop distance to whichever sink its parent chain
+// reaches. With one root it is identical to TreeDepths.
+func TreeDepthsMulti(parents []int, roots []int) []int {
+	n := len(parents)
+	depths := make([]int, n)
+	for i := range depths {
+		depths[i] = -1
+	}
+	for _, root := range roots {
+		if root >= 0 && root < n {
+			depths[root] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		if depths[i] >= 0 {
+			continue
+		}
+		path := []int{}
+		cur := i
+		for {
+			if cur < 0 || cur >= n {
+				break
+			}
+			if depths[cur] >= 0 {
+				d := depths[cur]
+				for k := len(path) - 1; k >= 0; k-- {
+					d++
+					depths[path[k]] = d
+				}
+				break
+			}
+			looped := false
+			for _, p := range path {
+				if p == cur {
+					looped = true
+					break
+				}
+			}
+			if looped {
+				break
+			}
+			path = append(path, cur)
+			cur = parents[cur]
+		}
+	}
+	return depths
+}
+
+// MeanDepthMulti is MeanDepth over a multi-sink forest: sinks are
+// excluded from the mean and the connected/detached counts.
+func MeanDepthMulti(depths []int, roots []int) (mean float64, connected, detached int) {
+	isRoot := func(i int) bool {
+		for _, r := range roots {
+			if r == i {
+				return true
+			}
+		}
+		return false
+	}
+	var sum int
+	for i, d := range depths {
+		if isRoot(i) {
+			continue
+		}
+		if d < 0 {
+			detached++
+			continue
+		}
+		sum += d
+		connected++
+	}
+	if connected == 0 {
+		return 0, 0, detached
+	}
+	return float64(sum) / float64(connected), connected, detached
+}
+
 // MeanDepth averages the depths of all nodes except the root, counting
 // detached nodes (depth < 0) as notConnected instead, which is returned
 // separately so callers can report both.

@@ -69,6 +69,8 @@ type Medium struct {
 
 	onTransmit func(from int, data []byte)
 
+	sh *shardedMedium // nil on the serial path; see EnableSharded
+
 	Stats MediumStats
 }
 
@@ -93,6 +95,7 @@ type transmission struct {
 
 type reception struct {
 	tx          *transmission
+	rec         *shardRec // sharded path; exactly one of tx/rec is set
 	powerMW     float64
 	curInterfMW float64
 	maxInterfMW float64
@@ -164,8 +167,15 @@ func NewMedium(clock *sim.Simulator, ch *Channel, rp RadioParams, lqip LQIParams
 func (m *Medium) Radio(id int) *Radio { return m.radios[id] }
 
 // OnTransmit installs a measurement tap invoked for every transmission put
-// on the air (trace recording; not visible to the protocol stack).
-func (m *Medium) OnTransmit(fn func(from int, data []byte)) { m.onTransmit = fn }
+// on the air (trace recording; not visible to the protocol stack). Serial
+// path only: under sharded dispatch the tap would run concurrently from
+// every shard, so the combination panics instead of racing silently.
+func (m *Medium) OnTransmit(fn func(from int, data []byte)) {
+	if m.sh != nil {
+		panic("phy: OnTransmit is incompatible with sharded dispatch")
+	}
+	m.onTransmit = fn
+}
 
 // N returns the number of radios.
 func (m *Medium) N() int { return len(m.radios) }
@@ -178,6 +188,9 @@ func (m *Medium) Airtime(payloadBytes int) sim.Time {
 }
 
 func (m *Medium) noiseMW(id int) float64 {
+	if m.sh != nil {
+		return m.ch.NoiseMW(id, m.sh.shards[m.sh.shardOf[id]].clock.Now())
+	}
 	return m.ch.NoiseMW(id, m.clock.Now())
 }
 
@@ -218,25 +231,38 @@ func (m *Medium) getTx() *transmission {
 // table does not serve. The per-medium slice keeps the shared-cache lookup
 // off the per-reception path.
 func (m *Medium) prrDecide(sinrDB float64, frameBytes int) bool {
-	if frameBytes > 0 && frameBytes < len(m.prrT) {
-		if tb := m.prrT[frameBytes]; tb != nil {
-			return tb.Decide(sinrDB, m.rng)
+	return m.prrDecideWith(sinrDB, frameBytes, m.rng, &m.prrT)
+}
+
+// prrDecideWith is prrDecide with the draw stream and the table cache as
+// parameters: the sharded resolve path supplies a per-receiver stream and
+// a per-shard cache, so concurrent shards neither contend on one
+// generator nor race on the lazily-grown cache slice.
+func (m *Medium) prrDecideWith(sinrDB float64, frameBytes int, rng *sim.Rand, cache *[]*PRRTable) bool {
+	prrT := *cache
+	if frameBytes > 0 && frameBytes < len(prrT) {
+		if tb := prrT[frameBytes]; tb != nil {
+			return tb.Decide(sinrDB, rng)
 		}
 	}
 	tb := PRRTableFor(frameBytes)
 	if tb == nil {
-		return m.rng.Bernoulli(PRR(sinrDB, frameBytes))
+		return rng.Bernoulli(PRR(sinrDB, frameBytes))
 	}
-	if frameBytes >= len(m.prrT) {
+	if frameBytes >= len(prrT) {
 		grown := make([]*PRRTable, frameBytes+1)
-		copy(grown, m.prrT)
-		m.prrT = grown
+		copy(grown, prrT)
+		prrT = grown
 	}
-	m.prrT[frameBytes] = tb
-	return tb.Decide(sinrDB, m.rng)
+	prrT[frameBytes] = tb
+	*cache = prrT
+	return tb.Decide(sinrDB, rng)
 }
 
 func (m *Medium) startTx(r *Radio, data []byte) sim.Time {
+	if m.sh != nil {
+		return m.startTxSharded(r, data)
+	}
 	if r.transmitting {
 		panic(fmt.Sprintf("phy: radio %d Transmit while transmitting", r.id))
 	}
@@ -429,6 +455,13 @@ type Radio struct {
 // the time lockOn runs).
 func (r *Radio) lockOn(t *transmission, pmw, interf float64) {
 	r.rxBuf = reception{tx: t, powerMW: pmw, curInterfMW: interf, maxInterfMW: interf}
+	r.rx = &r.rxBuf
+}
+
+// lockOnRec is lockOn for the sharded path, where the frame arrives as a
+// cross-shard record instead of a live transmission.
+func (r *Radio) lockOnRec(rec *shardRec, pmw, interf float64) {
+	r.rxBuf = reception{rec: rec, powerMW: pmw, curInterfMW: interf, maxInterfMW: interf}
 	r.rx = &r.rxBuf
 }
 

@@ -82,6 +82,7 @@ func Presets() []NamedSpec {
 		cityPreset("city-multifloor-10k",
 			"a 10000-node eight-floor block (600x300 m per floor) — the largest built-in deployment",
 			TopoSpec{Kind: "multifloor", N: 10000, Floors: 8, WidthM: 600, HeightM: 300}),
+		multiSinkCityPreset(),
 		{
 			Name: "power-drop",
 			Desc: "multifloor deployment; every non-root node steps from 0 to -12 dBm at minute 10 (links turn marginal mid-run)",
@@ -140,6 +141,18 @@ func cityPreset(name, desc string, tp TopoSpec) NamedSpec {
 			Channel:     &ChannelSpec{PathLossExponent: fptr(4.0)},
 		},
 	}
+}
+
+// multiSinkCityPreset derives the four-sink variant of the 10k block from
+// the single-sink preset, so the two differ only in Sinks: the root plus
+// three anchor-placed extra sinks (far corner first — see extraSinks)
+// drain the same deployment, quartering the per-sink funnel load.
+func multiSinkCityPreset() NamedSpec {
+	p := cityPreset("city-multifloor-10k-4sink",
+		"the 10000-node block drained by four sinks — multi-sink collection at city scale",
+		TopoSpec{Kind: "multifloor", N: 10000, Floors: 8, WidthM: 600, HeightM: 300})
+	p.Spec.Sinks = 4
+	return p
 }
 
 // fptr makes a pointer-valued ChannelSpec field literal.

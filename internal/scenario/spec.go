@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"fourbit/internal/collect"
 	"fourbit/internal/core"
@@ -62,6 +63,20 @@ type Spec struct {
 	// steps, interference onset, link bursts.
 	Dynamics []Event `json:",omitempty"`
 
+	// Shards selects the region-sharded parallel event loop
+	// (experiment.RunConfig.Shards): 0 auto-selects — city-scale
+	// populations shard, everything else (every golden config included)
+	// stays on the serial path byte-for-byte; >= 1 forces that shard
+	// count; -1 forces serial. Sharded results are invariant to the shard
+	// count but are a different (equally valid) trajectory than serial.
+	// Incompatible with TimelineS (the probe collector is serial-only).
+	Shards int `json:",omitempty"`
+	// Sinks is the number of collection roots (multi-sink collection).
+	// 0 or 1 is the classic single-sink run, bit-for-bit. Larger values
+	// add Sinks-1 extra roots at deterministic geometric anchors spread
+	// over the deployment's bounding box (far corner first), so a preset
+	// names a sink count, not node indices. Max 9.
+	Sinks int `json:",omitempty"`
 	// TimelineS, when positive, records a windowed timeline (cost,
 	// delivery ratio, parent churn, table composition per window of that
 	// many seconds) through the run's probe bus. Timelines are pure
@@ -201,6 +216,15 @@ func (s *Spec) Validate() error {
 	if s.Replicates < 0 {
 		return fmt.Errorf("scenario %q: negative replicates", s.Name)
 	}
+	if s.Shards < -1 {
+		return fmt.Errorf("scenario %q: Shards must be -1 (serial), 0 (auto) or a shard count", s.Name)
+	}
+	if s.Shards > 0 && s.TimelineS > 0 {
+		return fmt.Errorf("scenario %q: TimelineS needs the serial path; drop Shards or set it to -1", s.Name)
+	}
+	if s.Sinks < 0 || s.Sinks > 9 {
+		return fmt.Errorf("scenario %q: Sinks must be between 0 and 9, got %d", s.Name, s.Sinks)
+	}
 	if s.TableSize < 0 || s.FooterEntries < 0 || s.BeaconMaxS < 0 {
 		return fmt.Errorf("scenario %q: negative estimator/beacon knob", s.Name)
 	}
@@ -303,7 +327,56 @@ func (s *Spec) RunConfig() (experiment.RunConfig, error) {
 	if s.TimelineS > 0 {
 		rc.TimelineWindow = sim.FromSeconds(s.TimelineS)
 	}
+	rc.Shards = s.Shards
+	if s.Sinks > 1 {
+		rc.ExtraSinks = extraSinks(tp, s.Sinks-1)
+	}
 	return rc, nil
+}
+
+// sinkAnchors are the unit-bounding-box positions extra sinks snap to, in
+// placement order: the far corner first (the longest haul from the usual
+// near-origin root), then the remaining corners, center, and edge
+// midpoints. Fixed anchors make a preset's sink layout a pure function of
+// the topology — no indices to restate when N changes.
+var sinkAnchors = [][2]float64{
+	{1, 1}, {1, 0}, {0, 1}, {0.5, 0.5}, {1, 0.5}, {0, 0.5}, {0.5, 1}, {0.5, 0},
+}
+
+// extraSinks picks count extra collection roots: for each anchor in order,
+// the node nearest that point of the deployment's xy bounding box (floors
+// project onto one plane — a multifloor block wants sinks spread in plan,
+// not stacked) that is not the root or an earlier pick. Ascending node
+// scan breaks distance ties toward the lower index.
+func extraSinks(tp *topo.Topology, count int) []int {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range tp.Positions {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	taken := map[int]bool{tp.Root: true}
+	var out []int
+	for k := 0; k < count && k < len(sinkAnchors); k++ {
+		ax := minX + sinkAnchors[k][0]*(maxX-minX)
+		ay := minY + sinkAnchors[k][1]*(maxY-minY)
+		best, bestD := -1, math.Inf(1)
+		for i, p := range tp.Positions {
+			if taken[i] {
+				continue
+			}
+			d := (p.X-ax)*(p.X-ax) + (p.Y-ay)*(p.Y-ay)
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		out = append(out, best)
+	}
+	return out
 }
 
 // Batch expands the spec into its replicate runs: one RunConfig per seed.

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ShardGroup advances several Simulators (one per spatial shard) in
+// lockstep epochs. Within an epoch every shard dispatches its own wheel on
+// its own goroutine; at each epoch boundary all shards block on a barrier
+// and the coordinator runs the exchange hook (single-threaded, every shard
+// idle) which migrates cross-shard effects — in this repo, the medium's
+// frame handoff merge. The epoch length must be a conservative lookahead:
+// no event may affect another shard sooner than one epoch after it is
+// created, which is what makes the barrier cadence safe.
+//
+// Determinism: each shard's wheel is single-threaded and processes an
+// identical event sequence regardless of how the OS schedules the worker
+// goroutines, and the exchange hook runs between barriers where every
+// shard has reached exactly the same virtual time. Everything the group
+// does is a pure function of virtual time, so results do not depend on
+// wall-clock interleaving — and, with an exchange hook that merges in a
+// canonical order, not on the shard count either.
+type ShardGroup struct {
+	sims     []*Simulator
+	epoch    Time
+	exchange func(barrier Time)
+	cur      Time // last barrier reached
+
+	ctls    []groupControl
+	ctlSeq  uint64
+	nextCtl Time
+
+	work   []chan Time // one per worker shard (index 1..n-1)
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// groupControl is a coordinator-side event: it runs at the first epoch
+// barrier at or after its deadline, while every shard is idle. Samplers and
+// scripted dynamics use these in sharded runs so that cross-shard state
+// (channel modifiers, radio power, tree snapshots) is only touched
+// single-threaded.
+type groupControl struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	done bool
+}
+
+// NewShardGroup builds a group over the given simulators. epoch is the
+// conservative lookahead; exchange (may be nil) runs at every epoch
+// barrier with all shards stopped at exactly the barrier time. Close must
+// be called when done to stop the worker goroutines.
+func NewShardGroup(sims []*Simulator, epoch Time, exchange func(barrier Time)) *ShardGroup {
+	if len(sims) == 0 {
+		panic("sim: ShardGroup needs at least one shard")
+	}
+	if epoch <= 0 {
+		panic(fmt.Sprintf("sim: ShardGroup epoch %v must be positive", epoch))
+	}
+	g := &ShardGroup{sims: sims, epoch: epoch, exchange: exchange, nextCtl: math.MaxInt64}
+	g.done = make(chan struct{}, len(sims)-1)
+	for i := 1; i < len(sims); i++ {
+		ch := make(chan Time)
+		g.work = append(g.work, ch)
+		g.wg.Add(1)
+		go func(s *Simulator, ch chan Time) {
+			defer g.wg.Done()
+			for target := range ch {
+				s.RunUntil(target)
+				g.done <- struct{}{}
+			}
+		}(g.sims[i], ch)
+	}
+	return g
+}
+
+// Shards returns the number of shards.
+func (g *ShardGroup) Shards() int { return len(g.sims) }
+
+// Epoch returns the barrier cadence.
+func (g *ShardGroup) Epoch() Time { return g.epoch }
+
+// Now returns the last barrier time reached.
+func (g *ShardGroup) Now() Time { return g.cur }
+
+// Events returns the total counted events dispatched across all shards.
+func (g *ShardGroup) Events() uint64 {
+	var n uint64
+	for _, s := range g.sims {
+		n += s.Events()
+	}
+	return n
+}
+
+// ScheduleControl schedules fn to run on the coordinator at the first
+// epoch barrier at or after at (deadlines in the past run at the next
+// barrier). Controls run in (deadline, scheduling order), after the
+// exchange hook, with every shard idle at the barrier time — the sharded
+// analogue of Simulator.At for run-level machinery that must see or mutate
+// cross-shard state. A control may schedule further controls.
+func (g *ShardGroup) ScheduleControl(at Time, fn func()) {
+	if fn == nil {
+		panic("sim: nil control function")
+	}
+	g.ctlSeq++
+	g.ctls = append(g.ctls, groupControl{at: at, seq: g.ctlSeq, fn: fn})
+	if at < g.nextCtl {
+		g.nextCtl = at
+	}
+}
+
+func (g *ShardGroup) runControls(barrier Time) {
+	if g.nextCtl > barrier {
+		return
+	}
+	// Pick due controls in (deadline, scheduling order); the list is tiny
+	// (samplers + scripted dynamics), so a scan per pick is fine and keeps
+	// re-entrant scheduling (a sampler re-arming itself) trivially correct.
+	for {
+		best := -1
+		for i := range g.ctls {
+			c := &g.ctls[i]
+			if c.done || c.at > barrier {
+				continue
+			}
+			if best < 0 || c.at < g.ctls[best].at || (c.at == g.ctls[best].at && c.seq < g.ctls[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		g.ctls[best].done = true
+		g.ctls[best].fn()
+	}
+	live := g.ctls[:0]
+	g.nextCtl = math.MaxInt64
+	for _, c := range g.ctls {
+		if c.done {
+			continue
+		}
+		live = append(live, c)
+		if c.at < g.nextCtl {
+			g.nextCtl = c.at
+		}
+	}
+	g.ctls = live
+}
+
+// runShards advances every shard to target in parallel and waits for all.
+func (g *ShardGroup) runShards(target Time) {
+	for _, ch := range g.work {
+		ch <- target
+	}
+	g.sims[0].RunUntil(target)
+	for range g.work {
+		<-g.done
+	}
+}
+
+// RunUntil advances the whole group to virtual time t: repeated epochs of
+// parallel intra-shard dispatch to one tick before each barrier, then the
+// exchange hook and due controls at the barrier. Events scheduled exactly
+// at t do run, matching Simulator.RunUntil.
+func (g *ShardGroup) RunUntil(t Time) {
+	if g.closed {
+		panic("sim: RunUntil on a closed ShardGroup")
+	}
+	for g.cur < t {
+		b := g.cur + g.epoch
+		if b > t {
+			b = t
+		}
+		// Stop one tick short of the barrier: events at exactly b may be
+		// created by the exchange (handoff applies land at start+epoch >=
+		// b), so b itself is dispatched only after the exchange has run.
+		g.runShards(b - 1)
+		if g.exchange != nil {
+			g.exchange(b)
+		}
+		g.runControls(b)
+		g.cur = b
+	}
+	g.runShards(t)
+}
+
+// Close stops the worker goroutines. The group must not be used after.
+func (g *ShardGroup) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, ch := range g.work {
+		close(ch)
+	}
+	g.wg.Wait()
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShardGroupBarriersAndControls pins the coordinator contract: the
+// exchange hook fires at every epoch barrier in order, controls run at the
+// first barrier at or after their deadline in (deadline, scheduling
+// order), past deadlines run at the next barrier, and a control may
+// schedule further controls — including one already due, which still runs
+// at the same barrier.
+func TestShardGroupBarriersAndControls(t *testing.T) {
+	sims := []*Simulator{New(1), New(2)}
+	var barriers []Time
+	g := NewShardGroup(sims, 100, func(b Time) { barriers = append(barriers, b) })
+	defer g.Close()
+
+	var fired []string
+	g.ScheduleControl(250, func() { fired = append(fired, "late") })
+	g.ScheduleControl(150, func() { fired = append(fired, "mid-first") })
+	g.ScheduleControl(150, func() { fired = append(fired, "mid-second") })
+	g.ScheduleControl(10, func() {
+		fired = append(fired, "early")
+		g.ScheduleControl(0, func() { fired = append(fired, "re-entrant") })
+	})
+	g.RunUntil(400)
+
+	wantBarriers := []Time{100, 200, 300, 400}
+	if !reflect.DeepEqual(barriers, wantBarriers) {
+		t.Errorf("exchange barriers %v, want %v", barriers, wantBarriers)
+	}
+	wantFired := []string{"early", "re-entrant", "mid-first", "mid-second", "late"}
+	if !reflect.DeepEqual(fired, wantFired) {
+		t.Errorf("controls fired %v, want %v", fired, wantFired)
+	}
+	for i, s := range sims {
+		if s.Now() != 400 {
+			t.Errorf("shard %d at %v after RunUntil(400)", i, s.Now())
+		}
+	}
+	if g.Now() != 400 {
+		t.Errorf("group barrier clock at %v, want 400", g.Now())
+	}
+}
+
+// TestShardGroupPartialEpoch: a run target that is not a multiple of the
+// epoch still ends exactly at the target, with the final (short) barrier
+// observed by the exchange hook.
+func TestShardGroupPartialEpoch(t *testing.T) {
+	sims := []*Simulator{New(1)}
+	var barriers []Time
+	g := NewShardGroup(sims, 100, func(b Time) { barriers = append(barriers, b) })
+	defer g.Close()
+	g.RunUntil(250)
+	if !reflect.DeepEqual(barriers, []Time{100, 200, 250}) {
+		t.Errorf("barriers %v, want [100 200 250]", barriers)
+	}
+	if sims[0].Now() != 250 {
+		t.Errorf("shard at %v, want 250", sims[0].Now())
+	}
+}
+
+// TestScheduleArgSilentNotCounted: silent timers dispatch like any other
+// but stay out of Events() — the property that keeps a sharded run's
+// event count invariant to how many handoff timers the shard count
+// creates.
+func TestScheduleArgSilentNotCounted(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.ScheduleArgSilent(10, func(any) { ran++ }, nil)
+	s.ScheduleArg(10, func(any) { ran++ }, nil)
+	s.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("dispatched %d timers, want 2", ran)
+	}
+	if got := s.Events(); got != 1 {
+		t.Errorf("Events() = %d, want 1 (silent timer must not count)", got)
+	}
+}
