@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet tier1 bench bench-smoke bench-guard docs lint golden golden-check race-probe city-scale-smoke shard-race serve-race fuzz-smoke serve-soak clean
+.PHONY: all build test vet tier1 bench bench-smoke bench-guard bench-shards docs lint golden golden-check race-probe city-scale-smoke shard-race serve-race serve-wire-race fuzz-smoke serve-soak clean
 
 all: build
 
@@ -98,14 +98,26 @@ race-probe:
 serve-race:
 	$(GO) test -race -count=1 ./internal/serve/... ./cmd/fourbitsim
 
+# serve-wire-race runs the binary wire surface under the race detector:
+# the codec + converters, the batching client (whose Feed/Flush paths race
+# against the server's pooled frame readers and batch admission), and the
+# chaostest binary-surface certifications (cross-format bit-identity,
+# kill/restore over binary, hostile frames, batch backpressure). serve-race
+# covers these packages too; this is the focused loop for wire changes and
+# the named CI step that surfaces a wire race in the job list.
+serve-wire-race:
+	$(GO) test -race -count=1 ./internal/serve/wire ./internal/serve/client
+	$(GO) test -race -count=1 -run 'TestBinary' ./internal/serve/chaostest
+
 # fuzz-smoke runs each native fuzz target briefly against the saved seed
 # corpus plus a few seconds of new inputs — a tripwire for decoder
 # regressions (panics, untyped errors, scratch aliasing), not a deep
-# campaign. Longer runs: go test -fuzz FuzzDecodeEvent ./internal/serve
+# campaign. Longer runs: go test -fuzz FuzzDecodeEvent ./internal/serve/wire
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/packet
 	$(GO) test -run '^$$' -fuzz FuzzDecodeLEFrame -fuzztime 5s ./internal/packet
-	$(GO) test -run '^$$' -fuzz FuzzDecodeEvent -fuzztime 5s ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzDecodeEvent -fuzztime 5s ./internal/serve/wire
+	$(GO) test -run '^$$' -fuzz FuzzDecodeWireBatch -fuzztime 5s ./internal/serve/wire
 
 # serve-soak is the long-haul chaos run: 8 instances (2 per estimator
 # kind) under sustained randomized ingest with concurrent queriers, one
@@ -123,6 +135,12 @@ bench:
 # bench-smoke: just the one-iteration bench pass, no snapshot.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+
+# bench-shards runs the shard-axis CityScale benches and snapshots them
+# into BENCH_SHARDS_<date>_p<GOMAXPROCS>.json with a speedup table —
+# ROADMAP item 1's multi-core measurement as one command on a real box.
+bench-shards:
+	./scripts/bench_shards.sh
 
 # bench-guard enforces the committed allocation budgets
 # (scripts/alloc_budget.txt): CI fails when a budgeted benchmark's

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"fourbit/internal/core"
+	"fourbit/internal/packet"
+	"fourbit/internal/serve/client"
+	"fourbit/internal/serve/wire"
+)
+
+// runFeedconv converts recorded estimator feeds between the JSONL and
+// binary batch wire formats, and replays feeds of either format into a
+// running `fourbitsim serve` — the offline half of the binary ingest path.
+// Conversion is certified lossless: a converted feed replays into the
+// bit-identical estimator state (TestFeedRecorderReplayReproducesEstimator
+// pins it).
+func runFeedconv(args []string) {
+	fs := flag.NewFlagSet("feedconv", flag.ExitOnError)
+	in := fs.String("in", "", "feed file or directory of feeds (node-<addr>.jsonl / node-<addr>.fbb)")
+	out := fs.String("out", "", "output directory for converted feeds (default: alongside the input)")
+	to := fs.String("to", "binary", "conversion target: binary (*.jsonl -> *.fbb) or jsonl (*.fbb -> *.jsonl)")
+	batch := fs.Int("batch", wire.DefaultBatchEvents, "events per binary frame (conversion and replay)")
+	replay := fs.String("replay", "", "replay the feeds into the server at this base URL (e.g. http://127.0.0.1:8404) instead of converting")
+	wireFmt := fs.String("wire", "binary", "replay wire format: binary or jsonl")
+	kind := fs.String("kind", "", "estimator kind for replayed instances (4bit, wmewma, pdr, lqi; empty = server default)")
+	seed := fs.Uint64("seed", 1, "estimator seed for replayed instances")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *in == "" {
+		fatal(fmt.Errorf("feedconv needs -in FILE|DIR"))
+	}
+	if *replay != "" {
+		if *wireFmt != "binary" && *wireFmt != "jsonl" {
+			fatal(fmt.Errorf("-wire must be binary or jsonl, got %q", *wireFmt))
+		}
+		if err := replayFeeds(*in, *replay, *wireFmt == "jsonl", *batch, *kind, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *to != "binary" && *to != "jsonl" {
+		fatal(fmt.Errorf("-to must be binary or jsonl, got %q", *to))
+	}
+	if err := convertFeeds(*in, *out, *to == "jsonl", *batch); err != nil {
+		fatal(err)
+	}
+}
+
+// feedFiles expands -in into feed paths: the file itself, or the directory's
+// feeds carrying the wanted extensions.
+func feedFiles(in string, exts ...string) ([]string, error) {
+	info, err := os.Stat(in)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{in}, nil
+	}
+	var paths []string
+	for _, ext := range exts {
+		found, err := filepath.Glob(filepath.Join(in, "*"+ext))
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, found...)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no %s feeds in %s", strings.Join(exts, "/"), in)
+	}
+	return paths, nil
+}
+
+// convertFeeds rewrites each input feed in the other wire format.
+func convertFeeds(in, out string, toJSONL bool, batch int) error {
+	srcExt, dstExt := ".jsonl", ".fbb"
+	if toJSONL {
+		srcExt, dstExt = ".fbb", ".jsonl"
+	}
+	paths, err := feedFiles(in, srcExt)
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		dstDir := out
+		if dstDir == "" {
+			dstDir = filepath.Dir(path)
+		} else if err := os.MkdirAll(dstDir, 0o755); err != nil {
+			return err
+		}
+		dst := filepath.Join(dstDir, strings.TrimSuffix(filepath.Base(path), srcExt)+dstExt)
+		n, err := convertFeedFile(path, dst, toJSONL, batch)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s -> %s (%d events)\n", path, dst, n)
+	}
+	return nil
+}
+
+func convertFeedFile(src, dst string, toJSONL bool, batch int) (int64, error) {
+	sf, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer sf.Close()
+	df, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriterSize(df, 1<<16)
+	var n int64
+	if toJSONL {
+		n, err = wire.ConvertBinaryToJSONL(w, bufio.NewReaderSize(sf, 1<<16))
+	} else {
+		n, err = wire.ConvertJSONLToBinary(w, sf, batch)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := df.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dst)
+		return 0, err
+	}
+	return n, nil
+}
+
+// replayFeeds streams each feed into the server, one instance per feed file
+// (named after the file stem; node-<addr> stems set the instance's self
+// address), over the chosen wire format.
+func replayFeeds(in, baseURL string, jsonl bool, batch int, kindName string, seed uint64) error {
+	var kind core.EstimatorKind
+	if kindName != "" {
+		var err error
+		if kind, err = core.ParseEstimatorKind(kindName); err != nil {
+			return err
+		}
+	}
+	paths, err := feedFiles(in, ".jsonl", ".fbb")
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		stem := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		var self packet.Addr
+		if rest, ok := strings.CutPrefix(stem, "node-"); ok {
+			if a, err := strconv.ParseUint(rest, 10, 16); err == nil {
+				self = packet.Addr(a)
+			}
+		}
+		if err := client.CreateInstance(nil, baseURL, stem, kind, self, seed, nil); err != nil {
+			return err
+		}
+		feed := client.New(baseURL, stem, client.Options{BatchEvents: batch, JSONL: jsonl})
+		if err := replayFile(path, feed); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := feed.Flush(); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("replayed %s -> %s/%s (%d events)\n", path, baseURL, stem, feed.Stats().Sent)
+	}
+	return nil
+}
+
+// replayFile streams one feed file (either format, by extension) into feed.
+func replayFile(path string, feed *client.Feed) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if filepath.Ext(path) == ".fbb" {
+		fr := wire.NewFrameReader(bufio.NewReaderSize(f, 1<<16), 0, false)
+		for {
+			evs, err := fr.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			for i := range evs {
+				if err := feed.Send(&evs[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), wire.DefaultMaxBatchBytes)
+	var dec wire.EventDecoder
+	var ev wire.Event
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(strings.TrimSpace(string(sc.Bytes()))) == 0 {
+			continue
+		}
+		if err := dec.Decode(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := feed.Send(&ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

@@ -27,6 +27,8 @@
 //	                     [-csv FILE] [-jsonl FILE] [-workers W] [-shards S]
 //	fourbitsim serve     [-addr HOST:PORT] [-queue-depth N] [-overflow P]
 //	                     [-request-timeout D] [-idle-evict D] [-snapshot-dir DIR]
+//	fourbitsim feedconv  -in FILE|DIR [-out DIR] [-to binary|jsonl] [-batch N]
+//	                     [-replay URL [-wire binary|jsonl] [-kind E] [-seed N]]
 //	fourbitsim all       [-seed N] [-minutes M] [-workers W]
 //
 // Every subcommand also accepts -cpuprofile FILE and -memprofile FILE to
@@ -109,6 +111,7 @@ func subcommands() map[string]func([]string) {
 		"scenario":  runScenario,
 		"sweep":     runSweep,
 		"serve":     runServe,
+		"feedconv":  runFeedconv,
 		"all": func(args []string) {
 			c := newCommonFlags("all")
 			minutes := c.minutes()
@@ -466,8 +469,10 @@ subcommands:
   scenario  run one declarative scenario (-preset NAME | -spec FILE | -list)
   sweep     expand a parameter grid into replicated runs; default grid is
             3 topologies x 2 powers x 2 protocols (12 cells)
-  serve     host link estimators as a service: HTTP/JSONL event ingest,
-            table/cost queries, snapshot/restore, graceful drain
+  serve     host link estimators as a service: HTTP event ingest (JSONL or
+            binary batches), table/cost queries, snapshot/restore, drain
+  feedconv  convert recorded estimator feeds between JSONL and the binary
+            batch format, or replay feeds of either format into a server
   all       everything except fig3
 
 common flags:
@@ -493,6 +498,11 @@ serve flags:     -addr HOST:PORT, -queue-depth N, -overflow backpressure|drop-ol
                  -request-timeout D, -idle-evict D, -max-instances N,
                  -snapshot-dir DIR (restore at boot, write back on SIGTERM),
                  -drain-timeout D
+feedconv flags:  -in FILE|DIR (node-<addr>.jsonl / .fbb feeds), -out DIR,
+                 -to binary|jsonl (conversion direction), -batch N (events
+                 per binary frame), -replay URL (stream feeds into a live
+                 server instead), -wire binary|jsonl (replay format),
+                 -kind E, -seed N (replayed instance parameters)
 
 Spec and Sweep JSON schemas, every knob, timelines and the recovery-time
 metric are documented in docs/SCENARIOS.md; examples/sweep shows the same

@@ -1,0 +1,345 @@
+package chaostest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fourbit/internal/core"
+	"fourbit/internal/packet"
+	"fourbit/internal/serve"
+	"fourbit/internal/serve/wire"
+	"fourbit/internal/sim"
+)
+
+// The binary-surface half of the harness: the same certifications as the
+// JSONL tests, driven through Content-Type: application/x-fourbit-batch.
+// The load-bearing property is cross-format bit-identity — an event stream
+// ingested as binary batches must leave a server in exactly the state the
+// JSONL encoding of that stream would, down to snapshot bytes — so every
+// test here pivots on a JSONL twin fed the identical events.
+
+// filterDecodable splits synth lines into the events both formats can carry
+// and the lines that carry them. Torn/malformed lines are dropped (they have
+// no binary representation); duplicates and time warps survive, so the
+// interesting robustness counters still move. Returned events own their
+// Links (the decoder's scratch is reused across lines).
+func filterDecodable(t *testing.T, lines []string) ([]wire.Event, []string) {
+	t.Helper()
+	var dec wire.EventDecoder
+	evs := make([]wire.Event, 0, len(lines))
+	kept := make([]string, 0, len(lines))
+	for _, line := range lines {
+		var ev wire.Event
+		if err := dec.Decode([]byte(line), &ev); err != nil {
+			continue
+		}
+		ev.Links = append([]packet.LinkEntry(nil), ev.Links...)
+		evs = append(evs, ev)
+		kept = append(kept, line)
+	}
+	return evs, kept
+}
+
+// postBinary posts one binary frame carrying evs to the instance's events
+// route and returns status, body, and headers.
+func postBinary(t *testing.T, base, name string, evs []wire.Event) (int, []byte, http.Header) {
+	t.Helper()
+	frame, err := wire.AppendBatch(nil, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return postRaw(t, base, name, frame)
+}
+
+// postRaw posts arbitrary bytes under the binary content type.
+func postRaw(t *testing.T, base, name string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/instances/"+name+"/events", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes(), resp.Header
+}
+
+// ingestBinary streams events in barrier-separated chunks, mirroring
+// ingest's pacing so the two formats see identical admission conditions.
+func ingestBinary(t *testing.T, base, name string, evs []wire.Event) {
+	t.Helper()
+	const chunk = 512
+	for len(evs) > 0 {
+		n := chunk
+		if n > len(evs) {
+			n = len(evs)
+		}
+		status, data, _ := postBinary(t, base, name, evs[:n])
+		if status != http.StatusOK {
+			t.Fatalf("binary ingest: status %d: %s", status, data)
+		}
+		evs = evs[n:]
+		if len(evs) > 0 {
+			getTable(t, base, name) // barrier: drain before the next chunk
+		}
+	}
+}
+
+// TestBinaryMatchesJSONLBitIdentical is the cross-format differential: for
+// every estimator kind, clean and dirty synth streams ingested as JSONL on
+// one server and as binary batches on another yield bit-identical tables,
+// robustness counters, estimator counters, and snapshot bytes.
+func TestBinaryMatchesJSONLBitIdentical(t *testing.T) {
+	for _, dirty := range []bool{false, true} {
+		dirty := dirty
+		mode := "clean"
+		if dirty {
+			mode = "dirty"
+		}
+		for _, kind := range core.EstimatorKinds() {
+			kind := kind
+			t.Run(mode+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				raw := newSynth(0xB17E+uint64(len(kind)), dirty).lines(2400)
+				evs, kept := filterDecodable(t, raw)
+				if dirty && len(kept) == len(raw) {
+					t.Fatal("dirty stream synthesized no malformed lines; differential is vacuous")
+				}
+
+				jsonlBase, _ := boot(t, serve.Options{})
+				createInstance(t, jsonlBase, "n", kind, 42)
+				ingest(t, jsonlBase, "n", kept)
+
+				binBase, _ := boot(t, serve.Options{})
+				createInstance(t, binBase, "n", kind, 42)
+				ingestBinary(t, binBase, "n", evs)
+
+				sameView(t, "binary vs jsonl", getTable(t, jsonlBase, "n"), getTable(t, binBase, "n"))
+				js, bs := getStats(t, jsonlBase, "n"), getStats(t, binBase, "n")
+				if js.Robust != bs.Robust {
+					t.Fatalf("robust counters differ:\n jsonl  %+v\n binary %+v", js.Robust, bs.Robust)
+				}
+				if !reflect.DeepEqual(js.Estimator, bs.Estimator) {
+					t.Fatalf("estimator counters differ:\n jsonl  %v\n binary %v", js.Estimator, bs.Estimator)
+				}
+				if dirty && (js.Robust.DupBeacons == 0 || js.Robust.OutOfOrder == 0) {
+					t.Fatalf("filtered dirty stream lost its dirt: %+v", js.Robust)
+				}
+
+				jsnap := mustDo(t, http.MethodGet, jsonlBase+"/v1/instances/n/snapshot", "", http.StatusOK)
+				bsnap := mustDo(t, http.MethodGet, binBase+"/v1/instances/n/snapshot", "", http.StatusOK)
+				if !bytes.Equal(jsnap, bsnap) {
+					t.Fatalf("snapshot bytes differ:\n jsonl  %s\n binary %s", jsnap, bsnap)
+				}
+			})
+		}
+	}
+}
+
+// TestBinaryKillRestoreBitIdentical runs the kill/snapshot/restore cycle
+// entirely over the binary surface, against a JSONL-fed uninterrupted
+// reference — restore and cross-format certification in one pass.
+func TestBinaryKillRestoreBitIdentical(t *testing.T) {
+	for _, kind := range core.EstimatorKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			raw := newSynth(0xFACE+uint64(len(kind)), true).lines(2000)
+			evs, kept := filterDecodable(t, raw)
+			half := len(evs) / 2
+
+			refBase, _ := boot(t, serve.Options{})
+			createInstance(t, refBase, "n", kind, 7)
+			ingest(t, refBase, "n", kept)
+			refTab := getTable(t, refBase, "n")
+			refStats := getStats(t, refBase, "n")
+
+			vicBase, kill := boot(t, serve.Options{})
+			createInstance(t, vicBase, "n", kind, 7)
+			ingestBinary(t, vicBase, "n", evs[:half])
+			snap := mustDo(t, http.MethodGet, vicBase+"/v1/instances/n/snapshot", "", http.StatusOK)
+			kill()
+
+			heirBase, _ := boot(t, serve.Options{})
+			mustDo(t, http.MethodPost, heirBase+"/v1/instances/n/restore", string(snap), http.StatusOK)
+			ingestBinary(t, heirBase, "n", evs[half:])
+
+			sameView(t, "binary restored vs jsonl uninterrupted", refTab, getTable(t, heirBase, "n"))
+			heirStats := getStats(t, heirBase, "n")
+			if refStats.Robust != heirStats.Robust {
+				t.Fatalf("robust counters differ:\n%+v\n%+v", refStats.Robust, heirStats.Robust)
+			}
+			if !reflect.DeepEqual(refStats.Estimator, heirStats.Estimator) {
+				t.Fatalf("estimator counters differ:\n%v\n%v", refStats.Estimator, heirStats.Estimator)
+			}
+		})
+	}
+}
+
+// TestBinaryHostileInputAbortsWithoutCollateral throws garbage at the binary
+// route. Unlike JSONL's per-line skipping, binary framing cannot resync past
+// a bad frame, so the stream tears with 400 — but frames admitted before the
+// tear stay admitted, the error carries frame context, and the instance
+// keeps serving.
+func TestBinaryHostileInputAbortsWithoutCollateral(t *testing.T) {
+	base, _ := boot(t, serve.Options{})
+	createInstance(t, base, "n", core.KindFourBit, 1)
+
+	good := []wire.Event{
+		{Ev: wire.EvBeacon, At: 1000, Src: 2, Seq: 1, LQI: 90,
+			Links: []packet.LinkEntry{{Addr: 0, InQuality: 200}}},
+		{Ev: wire.EvTx, At: 2000, Src: 2, Acked: true},
+	}
+	frame, err := wire.AppendBatch(nil, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A valid frame followed by binary garbage: the frame lands, the
+	// garbage 400s with frame context.
+	body := append(append([]byte(nil), frame...), "\x00\x01garbage\xff"...)
+	var rep struct {
+		Accepted  uint64 `json:"accepted"`
+		Malformed uint64 `json:"malformed"`
+		Lines     uint64 `json:"lines"`
+		LastError string `json:"last_error"`
+	}
+	status, data, _ := postRaw(t, base, "n", body)
+	if status != http.StatusBadRequest {
+		t.Fatalf("garbage after frame: status %d: %s", status, data)
+	}
+	decodeJSON(t, data, &rep)
+	if rep.Accepted != 2 || rep.Malformed != 1 || rep.Lines != 1 {
+		t.Fatalf("report wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.LastError, "frame 2") {
+		t.Fatalf("last_error lost frame context: %q", rep.LastError)
+	}
+
+	// A future-version frame is refused outright.
+	future := binary.AppendUvarint(nil, 1)
+	future = append(future, wire.BatchVersion+1)
+	if status, data, _ := postRaw(t, base, "n", future); status != http.StatusBadRequest {
+		t.Fatalf("future version: status %d: %s", status, data)
+	}
+
+	// Pure garbage never reaches admission.
+	if status, data, _ := postRaw(t, base, "n", []byte("\xde\xad\xbe\xef")); status != http.StatusBadRequest {
+		t.Fatalf("pure garbage: status %d: %s", status, data)
+	}
+
+	tab := getTable(t, base, "n")
+	if tab.Applied != 2 || len(tab.Neighbors) != 1 || tab.Neighbors[0].Addr != 2 {
+		t.Fatalf("instance did not survive hostile input: %+v", tab)
+	}
+	st := getStats(t, base, "n")
+	if st.Robust.Malformed != 3 || st.Quarantined {
+		t.Fatalf("fault accounting wrong: %+v", st)
+	}
+}
+
+// TestBinaryOverlongFrameAborts: a frame over MaxBatchBytes tears the
+// stream (400) before its body is read; prior frames stay applied.
+func TestBinaryOverlongFrameAborts(t *testing.T) {
+	base, _ := boot(t, serve.Options{MaxBatchBytes: 256})
+	createInstance(t, base, "n", core.KindFourBit, 1)
+
+	small := []wire.Event{{Ev: wire.EvRx, At: 1000, Src: 2, LQI: 70}}
+	status, data, _ := postBinary(t, base, "n", small)
+	if status != http.StatusOK {
+		t.Fatalf("small frame: status %d: %s", status, data)
+	}
+
+	big := make([]wire.Event, 64)
+	for i := range big {
+		big[i] = wire.Event{Ev: wire.EvRx, At: sim.Time(2000 + i), Src: 2, LQI: 70}
+	}
+	status, data, _ = postBinary(t, base, "n", big)
+	if status != http.StatusBadRequest {
+		t.Fatalf("overlong frame: status %d: %s", status, data)
+	}
+	tab := getTable(t, base, "n")
+	if tab.Applied != 1 || tab.Quarantined {
+		t.Fatalf("collateral damage from overlong frame: %+v", tab)
+	}
+}
+
+// TestBinaryBackpressureBothPolicies mirrors TestSlowConsumerBackpressure
+// over the binary surface: batch-granular admission must preserve the
+// per-event overflow semantics exactly — a 429 reports how many events of
+// the batch were accepted, drop-oldest sheds and counts.
+func TestBinaryBackpressureBothPolicies(t *testing.T) {
+	evs, _ := filterDecodable(t, newSynth(7, false).lines(12))
+	if len(evs) != 12 {
+		t.Fatalf("clean synth stream lost events: %d", len(evs))
+	}
+
+	t.Run("backpressure", func(t *testing.T) {
+		base, _ := boot(t, serve.Options{QueueDepth: 4, RetryAfter: 2 * time.Second})
+		createInstance(t, base, "n", core.KindFourBit, 1)
+		mustDo(t, http.MethodPost, base+"/v1/instances/n/pause", "", http.StatusOK)
+
+		status, data, hdr := postBinary(t, base, "n", evs)
+		if status != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429: %s", status, data)
+		}
+		if ra := hdr.Get("Retry-After"); ra != "2" {
+			t.Fatalf("Retry-After %q, want 2", ra)
+		}
+		var rep struct {
+			Accepted uint64 `json:"accepted"`
+		}
+		decodeJSON(t, data, &rep)
+		if rep.Accepted != 4 {
+			t.Fatalf("accepted %d with depth 4", rep.Accepted)
+		}
+
+		mustDo(t, http.MethodPost, base+"/v1/instances/n/resume", "", http.StatusOK)
+		if tab := getTable(t, base, "n"); tab.Applied != 4 {
+			t.Fatalf("applied %d after resume, want 4", tab.Applied)
+		}
+		// Retry the unaccepted suffix, paced at the queue depth.
+		for i := 4; i < len(evs); i += 4 {
+			status, data, _ := postBinary(t, base, "n", evs[i:i+4])
+			if status != http.StatusOK {
+				t.Fatalf("retry: status %d: %s", status, data)
+			}
+			getTable(t, base, "n")
+		}
+		if tab := getTable(t, base, "n"); tab.Applied != 12 {
+			t.Fatalf("applied %d after retry, want 12", tab.Applied)
+		}
+		if st := getStats(t, base, "n"); st.Robust.Backpressured == 0 {
+			t.Fatalf("backpressure left no trace: %+v", st.Robust)
+		}
+	})
+
+	t.Run("drop-oldest", func(t *testing.T) {
+		base, _ := boot(t, serve.Options{QueueDepth: 4, Policy: serve.DropOldest})
+		createInstance(t, base, "n", core.KindFourBit, 1)
+		mustDo(t, http.MethodPost, base+"/v1/instances/n/pause", "", http.StatusOK)
+		status, data, _ := postBinary(t, base, "n", evs) // one frame, all 12
+		if status != http.StatusOK {
+			t.Fatalf("drop-oldest ingest: status %d: %s", status, data)
+		}
+		mustDo(t, http.MethodPost, base+"/v1/instances/n/resume", "", http.StatusOK)
+		if tab := getTable(t, base, "n"); tab.Applied != 12 {
+			t.Fatalf("applied %d, want 12 (dropped count as applied)", tab.Applied)
+		}
+		if st := getStats(t, base, "n"); st.Robust.DroppedOldest != 8 {
+			t.Fatalf("dropped_oldest %d, want 8", st.Robust.DroppedOldest)
+		}
+	})
+}

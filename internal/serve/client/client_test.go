@@ -1,0 +1,210 @@
+package client_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fourbit/internal/core"
+	"fourbit/internal/packet"
+	"fourbit/internal/serve"
+	"fourbit/internal/serve/client"
+	"fourbit/internal/serve/wire"
+	"fourbit/internal/sim"
+)
+
+// testEvents builds a deterministic stream exercising every event kind.
+func testEvents(n int) []wire.Event {
+	evs := make([]wire.Event, 0, n)
+	for i := 0; i < n; i++ {
+		at := sim.Time(i+1) * 1_000_000
+		src := packet.Addr(i%5 + 1)
+		switch i % 4 {
+		case 0:
+			evs = append(evs, wire.Event{Ev: wire.EvBeacon, At: at, Src: src,
+				Seq: uint16(i), LQI: 90, White: true, SNR: float64(i%7) + 0.5})
+		case 1:
+			evs = append(evs, wire.Event{Ev: wire.EvTx, At: at, Src: src, Acked: i%3 != 0})
+		case 2:
+			evs = append(evs, wire.Event{Ev: wire.EvRx, At: at, Src: src, LQI: 80})
+		default:
+			evs = append(evs, wire.Event{Ev: wire.EvAge, At: at, Silence: 500_000})
+		}
+	}
+	return evs
+}
+
+func newTestServer(t *testing.T, opts serve.Options) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.NewServer(opts)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// snapshotSansName fetches an instance snapshot with the name blanked, so
+// two instances fed the same stream can be compared bit for bit.
+func snapshotSansName(t *testing.T, base, name string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/instances/" + name + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap serve.InstanceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot %s: status %d", name, resp.StatusCode)
+	}
+	snap.Name = ""
+	out, err := json.Marshal(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestFeedFormatsConverge feeds the identical stream through a binary feed
+// and a JSONL feed and demands bit-identical instance snapshots — the
+// client-side leg of the cross-format differential.
+func TestFeedFormatsConverge(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{})
+	evs := testEvents(997) // not a multiple of the batch size: exercises tail flush
+
+	for _, cfg := range []struct {
+		name  string
+		jsonl bool
+	}{{"bin", false}, {"jsonl", true}} {
+		if err := client.CreateInstance(nil, ts.URL, cfg.name, core.KindFourBit, 1, 42, nil); err != nil {
+			t.Fatal(err)
+		}
+		feed := client.New(ts.URL, cfg.name, client.Options{BatchEvents: 128, JSONL: cfg.jsonl})
+		for i := range evs {
+			if err := feed.Send(&evs[i]); err != nil {
+				t.Fatalf("%s send %d: %v", cfg.name, i, err)
+			}
+		}
+		if err := feed.Flush(); err != nil {
+			t.Fatalf("%s flush: %v", cfg.name, err)
+		}
+		if feed.Buffered() != 0 {
+			t.Fatalf("%s: %d events left buffered", cfg.name, feed.Buffered())
+		}
+		if got := feed.Stats().Sent; got != uint64(len(evs)) {
+			t.Fatalf("%s: sent %d events, want %d", cfg.name, got, len(evs))
+		}
+	}
+
+	bin, jsonl := snapshotSansName(t, ts.URL, "bin"), snapshotSansName(t, ts.URL, "jsonl")
+	if bin != jsonl {
+		t.Errorf("binary and JSONL feeds diverged:\n bin   %s\n jsonl %s", bin, jsonl)
+	}
+}
+
+// TestFeedBackpressureResendsSuffix fills a tiny paused queue, exhausts the
+// retry budget, resumes, and re-flushes: every event must land exactly once.
+func TestFeedBackpressureResendsSuffix(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{QueueDepth: 4, RetryAfter: time.Millisecond})
+	if err := client.CreateInstance(nil, ts.URL, "bp", core.KindFourBit, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.Post(ts.URL+"/v1/instances/bp/pause", "", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	evs := testEvents(10)
+	feed := client.New(ts.URL, "bp", client.Options{
+		BatchEvents: 64, Retries: 2, RetryCap: time.Millisecond,
+	})
+	for i := range evs {
+		if err := feed.Send(&evs[i]); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	err := feed.Flush()
+	if !errors.Is(err, client.ErrRetryBudget) {
+		t.Fatalf("flush against a paused full queue: err = %v, want ErrRetryBudget", err)
+	}
+	if feed.Buffered() != len(evs)-4 {
+		t.Fatalf("buffered %d events, want %d", feed.Buffered(), len(evs)-4)
+	}
+
+	if resp, err := http.Post(ts.URL+"/v1/instances/bp/resume", "", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	if err := feed.Flush(); err != nil {
+		t.Fatalf("flush after resume: %v", err)
+	}
+
+	// The barrier-synced stats must show every event applied exactly once.
+	resp, err := http.Get(ts.URL + "/v1/instances/bp/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var table struct {
+		Applied uint64 `json:"applied"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+		t.Fatal(err)
+	}
+	if table.Applied != uint64(len(evs)) {
+		t.Fatalf("applied %d events, want exactly %d", table.Applied, len(evs))
+	}
+}
+
+// TestFeedRejectsPoisonWithoutPermit pins the chaos-only kind behind the
+// client-side gate too.
+func TestFeedRejectsPoisonWithoutPermit(t *testing.T) {
+	feed := client.New("http://invalid", "x", client.Options{})
+	err := feed.Send(&wire.Event{Ev: wire.EvPoison, At: 1})
+	if !errors.Is(err, wire.ErrRecord) {
+		t.Fatalf("err = %v, want ErrRecord", err)
+	}
+	if feed.Buffered() != 0 {
+		t.Fatalf("refused event left %d events buffered", feed.Buffered())
+	}
+}
+
+// TestFeedQuarantineSurfacesRejection drives a poison event through an
+// AllowPoison server and checks the next flush reports ErrRejected.
+func TestFeedQuarantineSurfacesRejection(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{AllowPoison: true})
+	if err := client.CreateInstance(nil, ts.URL, "q", core.KindFourBit, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	feed := client.New(ts.URL, "q", client.Options{AllowPoison: true})
+	if err := feed.Send(&wire.Event{Ev: wire.EvPoison, At: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := feed.Flush(); err != nil {
+		t.Fatal(err) // the poison batch itself is admitted, then kills the worker
+	}
+	// Wait for quarantine to land, then expect 409 → ErrRejected.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := feed.Send(&wire.Event{Ev: wire.EvAge, At: 2, Silence: 1}); err != nil {
+			t.Fatal(err)
+		}
+		err := feed.Flush()
+		if errors.Is(err, client.ErrRejected) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("err = %v, want ErrRejected", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("instance never quarantined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,226 +1,42 @@
-// Package serve hosts link estimators as a service: an HTTP/JSONL server
-// holding thousands of concurrent estimator instances (one neighbor table
-// plus any registered core.LinkEstimator kind per instance), ingesting
-// tx/rx/beacon/age event streams and answering link-cost and neighbor-table
-// queries. The robustness surface is the point: strict decoding with typed
-// per-line errors (malformed input is counted, never kills a stream),
-// bounded per-instance ingest queues with explicit backpressure, per-request
-// deadlines, idle-instance eviction, per-instance panic quarantine, graceful
-// drain, and versioned snapshot/restore certified bit-identical by the
-// chaostest harness.
+// Package serve hosts link estimators as a service: an HTTP server holding
+// thousands of concurrent estimator instances (one neighbor table plus any
+// registered core.LinkEstimator kind per instance), ingesting
+// tx/rx/beacon/age event streams in either wire format — line-oriented
+// JSONL or the batched binary encoding negotiated via Content-Type — and
+// answering link-cost and neighbor-table queries. The robustness surface is
+// the point: strict decoding with typed per-line (or per-frame) errors
+// (malformed input is counted, never kills a stream), bounded per-instance
+// ingest queues with explicit backpressure, per-request deadlines,
+// idle-instance eviction, per-instance panic quarantine, graceful drain,
+// and versioned snapshot/restore certified bit-identical by the chaostest
+// harness.
 package serve
 
-import (
-	"encoding/json"
-	"errors"
-	"fmt"
+import "fourbit/internal/serve/wire"
 
-	"fourbit/internal/packet"
-	"fourbit/internal/sim"
-)
+// The event model and both codecs live in internal/serve/wire; the names
+// below are aliases so existing callers (and the chaos harness) keep
+// compiling and errors.Is keeps matching across package boundaries.
 
-// Event kinds on the ingest wire. One JSON object per line:
-//
-//	{"ev":"beacon","at":N,"src":N,"seq":N,"lqi":N,"white":B,"snr":F,"links":[{"addr":N,"q":N}]}
-//	{"ev":"tx","at":N,"dest":N,"acked":B}
-//	{"ev":"rx","at":N,"src":N,"lqi":N,"white":B,"snr":F}
-//	{"ev":"age","at":N,"silence":N}
-//
-// at and silence are simulated-time nanoseconds. beacon carries the LE
-// envelope fields the estimator's OnBeacon consumes; rx is an overheard
-// non-beacon frame (OnOverhear); tx is the link layer's ack bit for one
-// unicast (TxResult); age injects silence at the caller's cadence (Age).
+// Event kinds on the ingest wire — see wire.EvBeacon et al.
 const (
-	EvBeacon = "beacon"
-	EvTx     = "tx"
-	EvRx     = "rx"
-	EvAge    = "age"
-	// EvPoison deliberately panics the instance worker. It decodes only
-	// when the decoder's AllowPoison is set (the chaos harness); production
-	// servers reject it as an unknown kind.
-	EvPoison = "poison"
+	EvBeacon = wire.EvBeacon
+	EvTx     = wire.EvTx
+	EvRx     = wire.EvRx
+	EvAge    = wire.EvAge
+	EvPoison = wire.EvPoison
 )
 
-// Typed decode errors. Every malformed line maps onto exactly one of these;
-// callers branch with errors.Is and per-line context rides in the wrapper.
+// Typed decode errors, re-exported: these are the same error values the
+// wire package wraps, so errors.Is works against either name.
 var (
-	// ErrEventSyntax: the line is not a JSON object of the wire shape.
-	ErrEventSyntax = errors.New("serve: malformed event line")
-	// ErrEventKind: the "ev" field is missing or names no known event.
-	ErrEventKind = errors.New("serve: unknown event kind")
-	// ErrEventField: a required field is missing or out of range.
-	ErrEventField = errors.New("serve: invalid event field")
+	ErrEventSyntax = wire.ErrEventSyntax
+	ErrEventKind   = wire.ErrEventKind
+	ErrEventField  = wire.ErrEventField
 )
 
 // Event is one decoded ingest event.
-type Event struct {
-	Ev      string
-	At      sim.Time
-	Src     packet.Addr // beacon/rx source, tx destination
-	Seq     uint16
-	LQI     uint8
-	White   bool
-	SNR     float64
-	Acked   bool
-	Silence sim.Time
-	Links   []packet.LinkEntry // aliases decoder scratch; valid until next Decode
-}
+type Event = wire.Event
 
-// wireLink is the footer entry wire form, pre-filled with -1 sentinels so
-// missing fields are detectable without per-field pointers.
-type wireLink struct {
-	Addr int64 `json:"addr"`
-	Q    int64 `json:"q"`
-}
-
-// UnmarshalJSON arms the -1 sentinels before decoding: encoding/json
-// zero-initializes fresh slice elements, and 0 is a legal address, so the
-// sentinel must be injected per element to make missing fields detectable.
-func (l *wireLink) UnmarshalJSON(data []byte) error {
-	type bare wireLink
-	b := bare{Addr: -1, Q: -1}
-	if err := json.Unmarshal(data, &b); err != nil {
-		return err
-	}
-	*l = wireLink(b)
-	return nil
-}
-
-// wireEvent is the reused decode target. Numeric fields start at -1 (none
-// of them is legitimately negative on the wire), so "absent" and "present
-// but wrong" both surface without allocating option pointers. Acked is the
-// one bool that must distinguish absent from false and pays one small
-// allocation per tx line.
-type wireEvent struct {
-	Ev      string     `json:"ev"`
-	At      int64      `json:"at"`
-	Src     int64      `json:"src"`
-	Dest    int64      `json:"dest"`
-	Seq     int64      `json:"seq"`
-	LQI     int64      `json:"lqi"`
-	White   bool       `json:"white"`
-	SNR     float64    `json:"snr"`
-	Acked   *bool      `json:"acked"`
-	Silence int64      `json:"silence"`
-	Links   []wireLink `json:"links"`
-}
-
-// EventDecoder decodes ingest lines into Events, reusing its scratch
-// between calls: a long stream decodes with near-zero steady-state
-// allocations. Not safe for concurrent use; the server keeps one per
-// ingest request.
-type EventDecoder struct {
-	// AllowPoison admits the chaos-only poison event. Leave unset outside
-	// fault-injection tests.
-	AllowPoison bool
-
-	w     wireEvent
-	links []packet.LinkEntry
-}
-
-// reset re-arms the sentinels before each Unmarshal.
-func (d *EventDecoder) reset() {
-	d.w.Ev = ""
-	d.w.At, d.w.Src, d.w.Dest, d.w.Seq, d.w.LQI, d.w.Silence = -1, -1, -1, -1, -1, -1
-	d.w.White, d.w.SNR, d.w.Acked = false, 0, nil
-	d.w.Links = d.w.Links[:0]
-}
-
-// fieldErr builds an ErrEventField with context.
-func fieldErr(ev, field string, format string, args ...any) error {
-	return fmt.Errorf("%w: %s.%s %s", ErrEventField, ev, field, fmt.Sprintf(format, args...))
-}
-
-// addrField validates a wire address: unicast node addresses only — the
-// broadcast and none sentinels never source or sink estimator feedback.
-func addrField(ev, field string, v int64) (packet.Addr, error) {
-	if v < 0 {
-		return 0, fieldErr(ev, field, "missing")
-	}
-	if v >= int64(packet.None) {
-		return 0, fieldErr(ev, field, "= %d, not a unicast address", v)
-	}
-	return packet.Addr(v), nil
-}
-
-// Decode parses one ingest line into ev. The returned error is nil or wraps
-// exactly one of ErrEventSyntax, ErrEventKind, ErrEventField. ev.Links
-// aliases decoder scratch and is consumed before the next Decode.
-func (d *EventDecoder) Decode(line []byte, ev *Event) error {
-	d.reset()
-	if err := json.Unmarshal(line, &d.w); err != nil {
-		return fmt.Errorf("%w: %v", ErrEventSyntax, err)
-	}
-	w := &d.w
-	switch w.Ev {
-	case EvBeacon, EvTx, EvRx, EvAge:
-	case EvPoison:
-		if !d.AllowPoison {
-			return fmt.Errorf("%w: %q", ErrEventKind, w.Ev)
-		}
-	case "":
-		return fmt.Errorf("%w: no \"ev\" field", ErrEventKind)
-	default:
-		return fmt.Errorf("%w: %q", ErrEventKind, w.Ev)
-	}
-	*ev = Event{Ev: w.Ev}
-	if w.At < 0 {
-		return fieldErr(w.Ev, "at", "missing or negative")
-	}
-	ev.At = sim.Time(w.At)
-
-	switch w.Ev {
-	case EvBeacon:
-		src, err := addrField(w.Ev, "src", w.Src)
-		if err != nil {
-			return err
-		}
-		if w.Seq < 0 || w.Seq > 0xFFFF {
-			return fieldErr(w.Ev, "seq", "= %d, want 0..65535", w.Seq)
-		}
-		if w.LQI < 0 || w.LQI > 255 {
-			return fieldErr(w.Ev, "lqi", "= %d, want 0..255", w.LQI)
-		}
-		if len(w.Links) > packet.MaxLinkEntries {
-			return fieldErr(w.Ev, "links", "has %d entries, max %d", len(w.Links), packet.MaxLinkEntries)
-		}
-		d.links = d.links[:0]
-		for i := range w.Links {
-			l := &w.Links[i]
-			addr, err := addrField(w.Ev, fmt.Sprintf("links[%d].addr", i), l.Addr)
-			if err != nil {
-				return err
-			}
-			if l.Q < 0 || l.Q > 255 {
-				return fieldErr(w.Ev, "links", "[%d].q = %d, want 0..255", i, l.Q)
-			}
-			d.links = append(d.links, packet.LinkEntry{Addr: addr, InQuality: uint8(l.Q)})
-		}
-		ev.Src, ev.Seq, ev.LQI = src, uint16(w.Seq), uint8(w.LQI)
-		ev.White, ev.SNR, ev.Links = w.White, w.SNR, d.links
-	case EvTx:
-		dest, err := addrField(w.Ev, "dest", w.Dest)
-		if err != nil {
-			return err
-		}
-		if w.Acked == nil {
-			return fieldErr(w.Ev, "acked", "missing")
-		}
-		ev.Src, ev.Acked = dest, *w.Acked
-	case EvRx:
-		src, err := addrField(w.Ev, "src", w.Src)
-		if err != nil {
-			return err
-		}
-		if w.LQI < 0 || w.LQI > 255 {
-			return fieldErr(w.Ev, "lqi", "= %d, want 0..255", w.LQI)
-		}
-		ev.Src, ev.LQI, ev.White, ev.SNR = src, uint8(w.LQI), w.White, w.SNR
-	case EvAge:
-		if w.Silence <= 0 {
-			return fieldErr(w.Ev, "silence", "missing or non-positive")
-		}
-		ev.Silence = sim.Time(w.Silence)
-	}
-	return nil
-}
+// EventDecoder decodes JSONL ingest lines into Events.
+type EventDecoder = wire.EventDecoder

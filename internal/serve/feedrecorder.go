@@ -2,11 +2,11 @@ package serve
 
 import (
 	"io"
-	"strconv"
 	"sync"
 
 	"fourbit/internal/core"
 	"fourbit/internal/packet"
+	"fourbit/internal/serve/wire"
 	"fourbit/internal/sim"
 )
 
@@ -15,7 +15,9 @@ import (
 // Wrapping a simulated node's estimator with it (node.EnvConfig.WrapEstimator)
 // taps that node's exact estimator event stream out of a run; replaying the
 // file into a served instance of the same kind, seed, and config reproduces
-// the node's table — the bridge from scenario to service.
+// the node's table — the bridge from scenario to service. The lines are the
+// canonical wire.AppendJSONLEvent grammar, so they take the decoder's fast
+// path and convert losslessly to the binary batch format (feedconv).
 //
 // The recorder changes nothing the inner estimator sees, so the run itself
 // stays bit-identical. Write errors are sticky and surfaced by Err; the
@@ -25,6 +27,7 @@ type FeedRecorder struct {
 	mu     sync.Mutex
 	w      io.Writer
 	buf    []byte
+	ev     wire.Event
 	lastAt sim.Time // latest hook time; stamps tx lines, whose hook has no clock
 	err    error
 }
@@ -42,63 +45,26 @@ func (r *FeedRecorder) Err() error {
 	return r.err
 }
 
-// flush writes the assembled line (newline-terminated) once; errors stick.
-func (r *FeedRecorder) flush() {
+// emit serializes r.ev as one canonical line; write errors stick.
+func (r *FeedRecorder) emit(at sim.Time) {
+	if at > r.lastAt {
+		r.lastAt = at
+	}
+	r.ev.At = at
+	r.buf = wire.AppendJSONLEvent(r.buf[:0], &r.ev)
 	r.buf = append(r.buf, '\n')
 	if r.err == nil {
 		_, r.err = r.w.Write(r.buf)
 	}
 }
 
-// appendMeta appends the shared rx-metadata fields.
-func (r *FeedRecorder) appendMeta(meta core.RxMeta) {
-	r.buf = append(r.buf, `,"lqi":`...)
-	r.buf = strconv.AppendUint(r.buf, uint64(meta.LQI), 10)
-	r.buf = append(r.buf, `,"white":`...)
-	r.buf = strconv.AppendBool(r.buf, meta.White)
-	if meta.SNRdB != 0 {
-		r.buf = append(r.buf, `,"snr":`...)
-		r.buf = strconv.AppendFloat(r.buf, meta.SNRdB, 'g', -1, 64)
-	}
-}
-
-// head begins a line: {"ev":"<ev>","at":<at>.
-func (r *FeedRecorder) head(ev string, at sim.Time) {
-	if at > r.lastAt {
-		r.lastAt = at
-	}
-	r.buf = append(r.buf[:0], `{"ev":"`...)
-	r.buf = append(r.buf, ev...)
-	r.buf = append(r.buf, `","at":`...)
-	r.buf = strconv.AppendInt(r.buf, int64(at), 10)
-}
-
 // OnBeacon records the beacon (envelope fields and footer included) and
 // delegates.
 func (r *FeedRecorder) OnBeacon(src packet.Addr, le *packet.LEFrame, meta core.RxMeta, now sim.Time) ([]byte, bool) {
 	r.mu.Lock()
-	r.head(EvBeacon, now)
-	r.buf = append(r.buf, `,"src":`...)
-	r.buf = strconv.AppendUint(r.buf, uint64(src), 10)
-	r.buf = append(r.buf, `,"seq":`...)
-	r.buf = strconv.AppendUint(r.buf, uint64(le.Seq), 10)
-	r.appendMeta(meta)
-	if len(le.Entries) > 0 {
-		r.buf = append(r.buf, `,"links":[`...)
-		for i, e := range le.Entries {
-			if i > 0 {
-				r.buf = append(r.buf, ',')
-			}
-			r.buf = append(r.buf, `{"addr":`...)
-			r.buf = strconv.AppendUint(r.buf, uint64(e.Addr), 10)
-			r.buf = append(r.buf, `,"q":`...)
-			r.buf = strconv.AppendUint(r.buf, uint64(e.InQuality), 10)
-			r.buf = append(r.buf, '}')
-		}
-		r.buf = append(r.buf, ']')
-	}
-	r.buf = append(r.buf, '}')
-	r.flush()
+	r.ev = wire.Event{Ev: wire.EvBeacon, Src: src, Seq: le.Seq,
+		LQI: meta.LQI, White: meta.White, SNR: meta.SNRdB, Links: le.Entries}
+	r.emit(now)
 	r.mu.Unlock()
 	return r.LinkEstimator.OnBeacon(src, le, meta, now)
 }
@@ -109,13 +75,8 @@ func (r *FeedRecorder) OnBeacon(src packet.Addr, le *packet.LEFrame, meta core.R
 // exactly where they happened.
 func (r *FeedRecorder) TxResult(dest packet.Addr, acked bool) {
 	r.mu.Lock()
-	r.head(EvTx, r.lastAtLocked())
-	r.buf = append(r.buf, `,"dest":`...)
-	r.buf = strconv.AppendUint(r.buf, uint64(dest), 10)
-	r.buf = append(r.buf, `,"acked":`...)
-	r.buf = strconv.AppendBool(r.buf, acked)
-	r.buf = append(r.buf, '}')
-	r.flush()
+	r.ev = wire.Event{Ev: wire.EvTx, Src: dest, Acked: acked}
+	r.emit(r.lastAt)
 	r.mu.Unlock()
 	r.LinkEstimator.TxResult(dest, acked)
 }
@@ -123,12 +84,8 @@ func (r *FeedRecorder) TxResult(dest packet.Addr, acked bool) {
 // OnOverhear records the overheard frame and delegates.
 func (r *FeedRecorder) OnOverhear(src packet.Addr, meta core.RxMeta, now sim.Time) {
 	r.mu.Lock()
-	r.head(EvRx, now)
-	r.buf = append(r.buf, `,"src":`...)
-	r.buf = strconv.AppendUint(r.buf, uint64(src), 10)
-	r.appendMeta(meta)
-	r.buf = append(r.buf, '}')
-	r.flush()
+	r.ev = wire.Event{Ev: wire.EvRx, Src: src, LQI: meta.LQI, White: meta.White, SNR: meta.SNRdB}
+	r.emit(now)
 	r.mu.Unlock()
 	r.LinkEstimator.OnOverhear(src, meta, now)
 }
@@ -136,13 +93,8 @@ func (r *FeedRecorder) OnOverhear(src packet.Addr, meta core.RxMeta, now sim.Tim
 // Age records the aging pass and delegates.
 func (r *FeedRecorder) Age(maxSilence sim.Time, now sim.Time) {
 	r.mu.Lock()
-	r.head(EvAge, now)
-	r.buf = append(r.buf, `,"silence":`...)
-	r.buf = strconv.AppendInt(r.buf, int64(maxSilence), 10)
-	r.buf = append(r.buf, '}')
-	r.flush()
+	r.ev = wire.Event{Ev: wire.EvAge, Silence: maxSilence}
+	r.emit(now)
 	r.mu.Unlock()
 	r.LinkEstimator.Age(maxSilence, now)
 }
-
-func (r *FeedRecorder) lastAtLocked() sim.Time { return r.lastAt }

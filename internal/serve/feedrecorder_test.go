@@ -2,11 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"testing"
 
 	"fourbit/internal/core"
 	"fourbit/internal/packet"
+	"fourbit/internal/serve/wire"
 	"fourbit/internal/sim"
 )
 
@@ -58,14 +60,13 @@ func TestFeedRecorderReplayReproducesEstimator(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			// Replay through the wire decoder into a twin estimator.
+			// Replay through the JSONL wire decoder into a twin estimator.
 			twin, err := core.NewKind(kind, 0, cfg, nil, sim.NewCountedRand(11))
 			if err != nil {
 				t.Fatal(err)
 			}
 			var dec EventDecoder
 			var ev Event
-			var relay packet.LEFrame
 			lines := 0
 			for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
 				if len(line) == 0 {
@@ -75,42 +76,84 @@ func TestFeedRecorderReplayReproducesEstimator(t *testing.T) {
 				if err := dec.Decode(line, &ev); err != nil {
 					t.Fatalf("line %d %q: %v", lines, line, err)
 				}
-				switch ev.Ev {
-				case EvBeacon:
-					relay = packet.LEFrame{Seq: ev.Seq, Entries: ev.Links}
-					twin.OnBeacon(ev.Src, &relay, core.RxMeta{White: ev.White, LQI: ev.LQI, SNRdB: ev.SNR}, ev.At)
-				case EvTx:
-					twin.TxResult(ev.Src, ev.Acked)
-				case EvRx:
-					twin.OnOverhear(ev.Src, core.RxMeta{White: ev.White, LQI: ev.LQI, SNRdB: ev.SNR}, ev.At)
-				case EvAge:
-					twin.Age(ev.Silence, ev.At)
-				}
+				applyToEstimator(twin, &ev)
 			}
 			if lines != 3000 {
 				t.Fatalf("recorded %d lines, want 3000", lines)
 			}
+			sameEstimator(t, "jsonl replay", inner, twin)
 
-			if inner.Counters() != twin.Counters() {
-				t.Fatalf("counters differ:\n%+v\n%+v", inner.Counters(), twin.Counters())
+			// Third twin: convert the recorded feed to the binary batch
+			// format (feedconv's path) and replay that — the converted
+			// feed must reproduce the estimator bit for bit too.
+			var bin bytes.Buffer
+			n, err := wire.ConvertJSONLToBinary(&bin, bytes.NewReader(buf.Bytes()), 256)
+			if err != nil {
+				t.Fatalf("ConvertJSONLToBinary: %v", err)
 			}
-			for addr := packet.Addr(0); addr < 24; addr++ {
-				qa, oka := inner.Quality(addr)
-				qb, okb := twin.Quality(addr)
-				if oka != okb || math.Float64bits(qa) != math.Float64bits(qb) {
-					t.Fatalf("quality for %v differs: (%x,%v) vs (%x,%v)", addr, qa, oka, qb, okb)
+			if n != 3000 {
+				t.Fatalf("converted %d events, want 3000", n)
+			}
+			binTwin, err := core.NewKind(kind, 0, cfg, nil, sim.NewCountedRand(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr := wire.NewFrameReader(&bin, 0, false)
+			for {
+				evs, err := fr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("binary replay: %v", err)
+				}
+				for i := range evs {
+					applyToEstimator(binTwin, &evs[i])
 				}
 			}
-			na, nb := inner.Neighbors(), twin.Neighbors()
-			if len(na) != len(nb) {
-				t.Fatalf("neighbors differ: %v vs %v", na, nb)
-			}
-			for i := range na {
-				if na[i] != nb[i] {
-					t.Fatalf("neighbor order differs: %v vs %v", na, nb)
-				}
-			}
+			sameEstimator(t, "binary replay", inner, binTwin)
 		})
+	}
+}
+
+// applyToEstimator drives one decoded wire event into est — the replay leg
+// shared by both wire formats.
+func applyToEstimator(est core.LinkEstimator, ev *Event) {
+	switch ev.Ev {
+	case EvBeacon:
+		relay := packet.LEFrame{Seq: ev.Seq, Entries: ev.Links}
+		est.OnBeacon(ev.Src, &relay, core.RxMeta{White: ev.White, LQI: ev.LQI, SNRdB: ev.SNR}, ev.At)
+	case EvTx:
+		est.TxResult(ev.Src, ev.Acked)
+	case EvRx:
+		est.OnOverhear(ev.Src, core.RxMeta{White: ev.White, LQI: ev.LQI, SNRdB: ev.SNR}, ev.At)
+	case EvAge:
+		est.Age(ev.Silence, ev.At)
+	}
+}
+
+// sameEstimator asserts two estimators are in bit-identical observable
+// state: counters, per-address quality bits, neighbor order.
+func sameEstimator(t *testing.T, leg string, a, b core.LinkEstimator) {
+	t.Helper()
+	if a.Counters() != b.Counters() {
+		t.Fatalf("%s: counters differ:\n%+v\n%+v", leg, a.Counters(), b.Counters())
+	}
+	for addr := packet.Addr(0); addr < 24; addr++ {
+		qa, oka := a.Quality(addr)
+		qb, okb := b.Quality(addr)
+		if oka != okb || math.Float64bits(qa) != math.Float64bits(qb) {
+			t.Fatalf("%s: quality for %v differs: (%x,%v) vs (%x,%v)", leg, addr, qa, oka, qb, okb)
+		}
+	}
+	na, nb := a.Neighbors(), b.Neighbors()
+	if len(na) != len(nb) {
+		t.Fatalf("%s: neighbors differ: %v vs %v", leg, na, nb)
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Fatalf("%s: neighbor order differs: %v vs %v", leg, na, nb)
+		}
 	}
 }
 

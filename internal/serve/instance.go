@@ -163,6 +163,52 @@ func (in *instance) enqueue(ev *Event) error {
 	return nil
 }
 
+// enqueueBatch admits a run of events under one lock acquisition and one
+// worker wakeup — the binary ingest path's admission, where the ring and
+// barrier bookkeeping are paid once per batch instead of once per event.
+// Each event is admitted with semantics identical to enqueue (same counter
+// increments, same overflow policy, in order); on the first refusal the
+// batch stops and the error reports why, with accepted saying how many
+// events made it in — the suffix evs[accepted:] was not admitted and a
+// backpressured client retries exactly that.
+func (in *instance) enqueueBatch(evs []Event) (accepted int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range evs {
+		if in.closed {
+			err = ErrClosed
+			break
+		}
+		if in.quarantined {
+			in.stats.Quarantined++
+			err = ErrQuarantined
+			break
+		}
+		if in.count == len(in.queue) {
+			if in.policy == Backpressure {
+				in.stats.Backpressured++
+				err = ErrQueueFull
+				break
+			}
+			in.head = (in.head + 1) % len(in.queue)
+			in.count--
+			in.stats.DroppedOldest++
+			in.stats.Applied++
+		}
+		slot := &in.queue[(in.head+in.count)%len(in.queue)]
+		links := slot.Links
+		*slot = evs[i]
+		slot.Links = append(links[:0], evs[i].Links...)
+		in.count++
+		in.stats.Enqueued++
+		accepted++
+	}
+	if accepted > 0 {
+		in.cond.Broadcast()
+	}
+	return accepted, err
+}
+
 // worker drains the queue, applying each event to the estimator. It holds
 // mu except while waiting, so every apply is atomic with respect to
 // queries. A panic during apply quarantines the instance: the event is

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 
 	"fourbit/internal/core"
 	"fourbit/internal/packet"
+	"fourbit/internal/serve/wire"
 )
 
 // Options configures a Server. The zero value serves with the defaults
@@ -39,6 +41,9 @@ type Options struct {
 	// MaxLineBytes bounds one ingest line (default 1 MiB). Longer lines
 	// abort the stream with 400 — by construction they are not events.
 	MaxLineBytes int
+	// MaxBatchBytes bounds one binary frame body (default 1 MiB). An
+	// overlong frame aborts the stream with 400, before its body is read.
+	MaxBatchBytes int
 	// AllowPoison admits the chaos-only poison event kind. Tests only.
 	AllowPoison bool
 	// Clock supplies wall time for idle accounting (default time.Now).
@@ -61,6 +66,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if opts.MaxLineBytes <= 0 {
 		opts.MaxLineBytes = 1 << 20
+	}
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = wire.DefaultMaxBatchBytes
 	}
 	if opts.JanitorInterval <= 0 {
 		opts.JanitorInterval = opts.IdleEvict / 4
@@ -92,6 +100,11 @@ type Server struct {
 	janitorOnce sync.Once
 	janitorStop chan struct{}
 	janitorDone chan struct{}
+
+	// frameReaders pools binary FrameReaders (each owns a read buffer, a
+	// frame buffer, and decoder scratch) across ingest requests, so a busy
+	// binary ingest path allocates nothing per request in steady state.
+	frameReaders sync.Pool
 }
 
 // NewServer returns a server with the given options applied over defaults.
@@ -101,6 +114,9 @@ func NewServer(opts Options) *Server {
 		instances:   make(map[string]*instance),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+	}
+	s.frameReaders.New = func() any {
+		return wire.NewFrameReader(nil, s.opts.MaxBatchBytes, s.opts.AllowPoison)
 	}
 	if s.opts.IdleEvict > 0 {
 		go s.janitor()
@@ -490,14 +506,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, name string) {
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 }
 
-// ingestReport is the ingest response body: what happened to every line of
-// the request, so clients need no second round trip to detect faults.
+// ingestReport is the ingest response body: what happened to every unit of
+// the request, so clients need no second round trip to detect faults. For
+// JSONL the unit is a line; for binary batches it is a frame.
 type ingestReport struct {
 	Accepted  uint64 `json:"accepted"`
 	Malformed uint64 `json:"malformed"`
 	Lines     uint64 `json:"lines"`
-	// LastError carries the first decode error verbatim (with its line
-	// number) when Malformed > 0 — enough to debug without flooding.
+	// LastError carries the first decode error verbatim (with its line or
+	// frame number) when Malformed > 0 — enough to debug without flooding.
 	LastError string `json:"last_error,omitempty"`
 }
 
@@ -507,6 +524,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, in *instan
 	s.mu.Unlock()
 	if draining {
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if r.Header.Get("Content-Type") == wire.ContentType {
+		s.handleEventsBinary(w, r, in)
 		return
 	}
 	dec := EventDecoder{AllowPoison: s.opts.AllowPoison}
@@ -542,16 +563,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, in *instan
 			continue
 		}
 		if err := in.enqueue(&ev); err != nil {
-			switch {
-			case errors.Is(err, ErrQueueFull):
-				w.Header().Set("Retry-After",
-					strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
-				writeJSON(w, http.StatusTooManyRequests, rep)
-			case errors.Is(err, ErrQuarantined):
-				writeJSON(w, http.StatusConflict, rep)
-			default:
-				writeJSON(w, http.StatusServiceUnavailable, rep)
-			}
+			s.writeEnqueueErr(w, &rep, err)
 			return
 		}
 		rep.Accepted++
@@ -564,6 +576,65 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, in *instan
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// writeEnqueueErr maps an admission refusal onto its status — 429 with a
+// Retry-After hint for backpressure, 409 for quarantine, 503 otherwise —
+// carrying the report (everything accepted so far stays accepted) as body.
+func (s *Server) writeEnqueueErr(w http.ResponseWriter, rep *ingestReport, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, rep)
+	case errors.Is(err, ErrQuarantined):
+		writeJSON(w, http.StatusConflict, rep)
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, rep)
+	}
+}
+
+// handleEventsBinary is the batched binary ingest path: pooled frame
+// reader, one ring admission per batch. A malformed frame aborts the
+// stream with 400 — binary framing cannot be resynced past a bad frame,
+// unlike JSONL's per-line skipping — but frames already admitted stay
+// admitted, and the report says how far the stream got.
+func (s *Server) handleEventsBinary(w http.ResponseWriter, r *http.Request, in *instance) {
+	fr := s.frameReaders.Get().(*wire.FrameReader)
+	fr.Reset(r.Body)
+	defer func() {
+		fr.Reset(nil) // drop the request body reference before pooling
+		s.frameReaders.Put(fr)
+	}()
+	var rep ingestReport
+	abort := r.Context().Done()
+	for {
+		if aborted(abort) {
+			writeJSON(w, http.StatusServiceUnavailable, rep)
+			return
+		}
+		batch, err := fr.Next()
+		if err == io.EOF {
+			writeJSON(w, http.StatusOK, rep)
+			return
+		}
+		if err != nil {
+			rep.Malformed++
+			in.mu.Lock()
+			in.stats.Malformed++
+			in.mu.Unlock()
+			rep.LastError = fmt.Sprintf("frame %d: %v", rep.Lines+1, err)
+			writeJSON(w, http.StatusBadRequest, rep)
+			return
+		}
+		rep.Lines++
+		accepted, err := in.enqueueBatch(batch)
+		rep.Accepted += uint64(accepted)
+		if err != nil {
+			s.writeEnqueueErr(w, &rep, err)
+			return
+		}
+	}
 }
 
 // etxHex formats a float64 exactly (hex float), for bit-identity checks.

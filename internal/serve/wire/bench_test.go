@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"fourbit/internal/packet"
+	"fourbit/internal/sim"
+)
+
+// benchBatch builds a representative 512-event batch (mostly footered
+// beacons, some tx/rx/age) and returns its encoded frame body.
+func benchBatch(b *testing.B) []byte {
+	b.Helper()
+	r := sim.NewRand(0xB47C)
+	var now sim.Time
+	var seqs [32]uint16
+	evs := make([]Event, 0, 512)
+	for i := 0; i < 512; i++ {
+		now += sim.Time(1 + r.Int63n(int64(sim.Second)))
+		src := packet.Addr(1 + r.Intn(18))
+		switch k := r.Intn(10); {
+		case k < 6:
+			seqs[src]++
+			evs = append(evs, Event{Ev: EvBeacon, At: now, Src: src, Seq: seqs[src],
+				LQI: uint8(40 + r.Intn(80)), White: true,
+				Links: []packet.LinkEntry{{Addr: 0, InQuality: uint8(r.Intn(256))}}})
+		case k < 8:
+			evs = append(evs, Event{Ev: EvTx, At: now, Src: src, Acked: r.Bernoulli(0.7)})
+		case k < 9:
+			evs = append(evs, Event{Ev: EvRx, At: now, Src: src, LQI: uint8(40 + r.Intn(60))})
+		default:
+			evs = append(evs, Event{Ev: EvAge, At: now, Silence: 2 * sim.Second})
+		}
+	}
+	frame, err := AppendBatch(nil, evs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodyLen, n := binary.Uvarint(frame)
+	if n <= 0 || int(bodyLen) != len(frame)-n {
+		b.Fatalf("bad frame prefix: %d/%d", bodyLen, len(frame))
+	}
+	return frame[n:]
+}
+
+// BenchmarkWireDecodeBatch measures one 512-event frame body through the
+// batch decoder with warm scratch — the per-frame cost of the binary ingest
+// hot path. Budgeted at 0 allocs/op in scripts/alloc_budget.txt: steady
+// state must reuse the event and link scratch entirely.
+func BenchmarkWireDecodeBatch(b *testing.B) {
+	body := benchBatch(b)
+	var dec BatchDecoder
+	evs, err := dec.DecodeBody(body) // warm the scratch
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if evs, err = dec.DecodeBody(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(evs)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkWireEncodeBatch is the other direction: re-encoding the decoded
+// events into a frame with a reused buffer, the batching client's steady
+// state.
+func BenchmarkWireEncodeBatch(b *testing.B) {
+	body := benchBatch(b)
+	var dec BatchDecoder
+	evs, err := dec.DecodeBody(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rec, frame []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec = rec[:0]
+		for j := range evs {
+			if rec, err = AppendEvent(rec, &evs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		frame = AppendFrame(frame[:0], rec, len(evs))
+	}
+	_ = frame
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// DefaultBatchEvents is the converter's and client's default events-per-
+// frame: large enough to amortize framing and admission to ~nothing, small
+// enough that a frame stays far under the batch byte budget.
+const DefaultBatchEvents = 512
+
+// AppendJSONLEvent appends ev as one canonical JSONL line (no trailing
+// newline) — the exact grammar FeedRecorder writes and the fast decode
+// path recognizes. The snr field is emitted whenever its float bits are
+// nonzero (not merely its value, so a negative zero survives the round
+// trip), and omitted otherwise; decode∘encode is the identity on every
+// event either decoder accepts.
+func AppendJSONLEvent(dst []byte, ev *Event) []byte {
+	dst = append(dst, `{"ev":"`...)
+	dst = append(dst, ev.Ev...)
+	dst = append(dst, `","at":`...)
+	dst = strconv.AppendInt(dst, int64(ev.At), 10)
+	switch ev.Ev {
+	case EvBeacon:
+		dst = append(dst, `,"src":`...)
+		dst = strconv.AppendUint(dst, uint64(ev.Src), 10)
+		dst = append(dst, `,"seq":`...)
+		dst = strconv.AppendUint(dst, uint64(ev.Seq), 10)
+		dst = appendJSONLMeta(dst, ev)
+		if len(ev.Links) > 0 {
+			dst = append(dst, `,"links":[`...)
+			for i, e := range ev.Links {
+				if i > 0 {
+					dst = append(dst, ',')
+				}
+				dst = append(dst, `{"addr":`...)
+				dst = strconv.AppendUint(dst, uint64(e.Addr), 10)
+				dst = append(dst, `,"q":`...)
+				dst = strconv.AppendUint(dst, uint64(e.InQuality), 10)
+				dst = append(dst, '}')
+			}
+			dst = append(dst, ']')
+		}
+	case EvTx:
+		dst = append(dst, `,"dest":`...)
+		dst = strconv.AppendUint(dst, uint64(ev.Src), 10)
+		dst = append(dst, `,"acked":`...)
+		dst = strconv.AppendBool(dst, ev.Acked)
+	case EvRx:
+		dst = append(dst, `,"src":`...)
+		dst = strconv.AppendUint(dst, uint64(ev.Src), 10)
+		dst = appendJSONLMeta(dst, ev)
+	case EvAge:
+		dst = append(dst, `,"silence":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Silence), 10)
+	}
+	return append(dst, '}')
+}
+
+// appendJSONLMeta appends the shared rx-metadata fields.
+func appendJSONLMeta(dst []byte, ev *Event) []byte {
+	dst = append(dst, `,"lqi":`...)
+	dst = strconv.AppendUint(dst, uint64(ev.LQI), 10)
+	dst = append(dst, `,"white":`...)
+	dst = strconv.AppendBool(dst, ev.White)
+	if math.Float64bits(ev.SNR) != 0 {
+		dst = append(dst, `,"snr":`...)
+		dst = strconv.AppendFloat(dst, ev.SNR, 'g', -1, 64)
+	}
+	return dst
+}
+
+// ConvertJSONLToBinary rewrites a JSONL event feed as a binary batch
+// stream, batchEvents records per frame (≤ 0 selects DefaultBatchEvents).
+// Conversion is strict — a feed line the decoder refuses fails the whole
+// conversion with its line number, because a converted feed must replay
+// event-for-event identically to its source. Returns the event count.
+func ConvertJSONLToBinary(dst io.Writer, src io.Reader, batchEvents int) (int64, error) {
+	if batchEvents <= 0 {
+		batchEvents = DefaultBatchEvents
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), DefaultMaxBatchBytes)
+	var dec EventDecoder
+	var ev Event
+	var records, frame []byte
+	count, lineNo := 0, int64(0)
+	var total int64
+	flush := func() error {
+		if count == 0 {
+			return nil
+		}
+		frame = AppendFrame(frame[:0], records, count)
+		records, count = records[:0], 0
+		_, err := dst.Write(frame)
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineNo++
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if err := dec.Decode(line, &ev); err != nil {
+			return total, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		var err error
+		if records, err = AppendEvent(records, &ev); err != nil {
+			return total, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		count++
+		total++
+		if count >= batchEvents {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return total, fmt.Errorf("line %d: %w", lineNo+1, err)
+	}
+	return total, flush()
+}
+
+// ConvertBinaryToJSONL rewrites a binary batch stream as canonical JSONL —
+// the inverse direction, for inspecting converted feeds with line tools.
+// Returns the event count.
+func ConvertBinaryToJSONL(dst io.Writer, src io.Reader) (int64, error) {
+	fr := NewFrameReader(src, 0, false)
+	var line []byte
+	var total int64
+	for {
+		evs, err := fr.Next()
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+		for i := range evs {
+			line = AppendJSONLEvent(line[:0], &evs[i])
+			line = append(line, '\n')
+			if _, err := dst.Write(line); err != nil {
+				return total, err
+			}
+			total++
+		}
+	}
+}

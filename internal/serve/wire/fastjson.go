@@ -1,0 +1,283 @@
+package wire
+
+import "strconv"
+
+// The fast JSONL path: a hand-rolled parser for the canonical line grammar
+// every producer in this repo emits (FeedRecorder, the batching client, the
+// converters) — a single-line JSON object, known keys only, no whitespace,
+// no string escapes, plain decimal numbers. Anything outside that grammar
+// makes fastDecode bail with false and the caller re-parses the same bytes
+// with encoding/json, so the fast path can only ever change speed, not
+// outcomes: it either fills wireEvent exactly as encoding/json would, or it
+// declines the line entirely. The differential half of FuzzDecodeEvent
+// (fast-enabled vs noFastPath decoder) pins that equivalence.
+
+// fastDecode parses line into d.w. It reports false — leaving the scratch
+// in an unspecified partial state the caller must reset — whenever the line
+// strays outside the canonical grammar, including every malformed line:
+// errors are the slow path's job, so both paths produce identical ones.
+func (d *EventDecoder) fastDecode(line []byte) bool {
+	p := fastParser{in: line}
+	if !p.lit('{') {
+		return false
+	}
+	if p.lit('}') {
+		return p.i == len(line) // {}: valid JSON, no fields; validation rejects it
+	}
+	for {
+		key, ok := p.str()
+		if !ok || !p.lit(':') {
+			return false
+		}
+		switch string(key) { // compiler recognizes string([]byte) switches: no alloc
+		case "ev":
+			val, ok := p.str()
+			if !ok {
+				return false
+			}
+			// Assign the matching constant: no allocation, and unknown
+			// kinds defer to the slow path, whose ErrEventKind quotes the
+			// kind from a heap string exactly as before.
+			switch string(val) {
+			case EvBeacon:
+				d.w.Ev = EvBeacon
+			case EvTx:
+				d.w.Ev = EvTx
+			case EvRx:
+				d.w.Ev = EvRx
+			case EvAge:
+				d.w.Ev = EvAge
+			case EvPoison:
+				d.w.Ev = EvPoison
+			default:
+				return false
+			}
+		case "at":
+			if d.w.At, ok = p.int63(); !ok {
+				return false
+			}
+		case "src":
+			if d.w.Src, ok = p.int63(); !ok {
+				return false
+			}
+		case "dest":
+			if d.w.Dest, ok = p.int63(); !ok {
+				return false
+			}
+		case "seq":
+			if d.w.Seq, ok = p.int63(); !ok {
+				return false
+			}
+		case "lqi":
+			if d.w.LQI, ok = p.int63(); !ok {
+				return false
+			}
+		case "silence":
+			if d.w.Silence, ok = p.int63(); !ok {
+				return false
+			}
+		case "white":
+			if d.w.White, ok = p.boolean(); !ok {
+				return false
+			}
+		case "acked":
+			if d.acked, ok = p.boolean(); !ok {
+				return false
+			}
+			d.w.Acked = &d.acked
+		case "snr":
+			if d.w.SNR, ok = p.float(); !ok {
+				return false
+			}
+		case "links":
+			if !d.fastLinks(&p) {
+				return false
+			}
+		default:
+			return false // unknown key: encoding/json ignores it; too rare to mirror
+		}
+		if p.lit(',') {
+			continue
+		}
+		return p.lit('}') && p.i == len(line)
+	}
+}
+
+// fastLinks parses the beacon footer array. Duplicate "links" keys follow
+// encoding/json's last-one-wins: the slice restarts from empty.
+func (d *EventDecoder) fastLinks(p *fastParser) bool {
+	d.w.Links = d.w.Links[:0]
+	if !p.lit('[') {
+		return false
+	}
+	if p.lit(']') {
+		return true
+	}
+	for {
+		if !p.lit('{') {
+			return false
+		}
+		l := wireLink{Addr: -1, Q: -1} // the sentinels UnmarshalJSON arms
+		if !p.lit('}') {
+			for {
+				key, ok := p.str()
+				if !ok || !p.lit(':') {
+					return false
+				}
+				switch string(key) {
+				case "addr":
+					if l.Addr, ok = p.int63(); !ok {
+						return false
+					}
+				case "q":
+					if l.Q, ok = p.int63(); !ok {
+						return false
+					}
+				default:
+					return false
+				}
+				if p.lit(',') {
+					continue
+				}
+				if p.lit('}') {
+					break
+				}
+				return false
+			}
+		}
+		d.w.Links = append(d.w.Links, l)
+		if p.lit(',') {
+			continue
+		}
+		return p.lit(']')
+	}
+}
+
+// fastParser is a cursor over one line. Its primitives accept exactly the
+// canonical grammar — no whitespace skipping, no escape processing — and
+// report false on anything else.
+type fastParser struct {
+	in []byte
+	i  int
+}
+
+// lit consumes c if it is the next byte.
+func (p *fastParser) lit(c byte) bool {
+	if p.i < len(p.in) && p.in[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// str consumes a quoted string with no escapes and only printable ASCII —
+// the full range JSON allows (escapes, UTF-8, surrogates) bails to the
+// slow path rather than being re-implemented here.
+func (p *fastParser) str() ([]byte, bool) {
+	if !p.lit('"') {
+		return nil, false
+	}
+	start := p.i
+	for p.i < len(p.in) {
+		switch c := p.in[p.i]; {
+		case c == '"':
+			s := p.in[start:p.i]
+			p.i++
+			return s, true
+		case c < 0x20 || c == '\\' || c >= 0x80:
+			return nil, false
+		}
+		p.i++
+	}
+	return nil, false
+}
+
+// int63 consumes a JSON integer that fits int64. A fraction, exponent, or
+// overflow bails: encoding/json would reject those for an int64 field, and
+// the slow path owns error wording.
+func (p *fastParser) int63() (int64, bool) {
+	neg := p.lit('-')
+	start := p.i
+	for p.i < len(p.in) && p.in[p.i] >= '0' && p.in[p.i] <= '9' {
+		p.i++
+	}
+	digits := p.in[start:p.i]
+	if len(digits) == 0 || (len(digits) > 1 && digits[0] == '0') {
+		return 0, false // empty or leading zero: not a JSON number
+	}
+	if p.i < len(p.in) {
+		if c := p.in[p.i]; c == '.' || c == 'e' || c == 'E' {
+			return 0, false // a float where an integer field lives
+		}
+	}
+	var v int64
+	for _, c := range digits {
+		if v > (1<<62)/5 { // v*10 would overflow int64
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+		if v < 0 {
+			return 0, false
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// boolean consumes a true/false literal.
+func (p *fastParser) boolean() (bool, bool) {
+	in := p.in[p.i:]
+	if len(in) >= 4 && in[0] == 't' && in[1] == 'r' && in[2] == 'u' && in[3] == 'e' {
+		p.i += 4
+		return true, true
+	}
+	if len(in) >= 5 && in[0] == 'f' && in[1] == 'a' && in[2] == 'l' && in[3] == 's' && in[4] == 'e' {
+		p.i += 5
+		return false, true
+	}
+	return false, false
+}
+
+// float consumes a JSON number and parses it with strconv.ParseFloat — the
+// same routine encoding/json uses, so the mantissa bits cannot differ. The
+// token-to-string conversion is the fast path's one possible allocation,
+// paid only on lines that carry an explicit snr.
+func (p *fastParser) float() (float64, bool) {
+	start := p.i
+	p.lit('-')
+	intStart := p.i
+	for p.i < len(p.in) && p.in[p.i] >= '0' && p.in[p.i] <= '9' {
+		p.i++
+	}
+	if n := p.i - intStart; n == 0 || (n > 1 && p.in[intStart] == '0') {
+		return 0, false
+	}
+	if p.lit('.') {
+		frac := 0
+		for p.i < len(p.in) && p.in[p.i] >= '0' && p.in[p.i] <= '9' {
+			p.i++
+			frac++
+		}
+		if frac == 0 {
+			return 0, false
+		}
+	}
+	if p.i < len(p.in) && (p.in[p.i] == 'e' || p.in[p.i] == 'E') {
+		p.i++
+		if p.i < len(p.in) && (p.in[p.i] == '+' || p.in[p.i] == '-') {
+			p.i++
+		}
+		exp := 0
+		for p.i < len(p.in) && p.in[p.i] >= '0' && p.in[p.i] <= '9' {
+			p.i++
+			exp++
+		}
+		if exp == 0 {
+			return 0, false
+		}
+	}
+	v, err := strconv.ParseFloat(string(p.in[start:p.i]), 64)
+	return v, err == nil
+}

@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"fourbit/internal/packet"
+)
+
+// sameEvent compares two decoded events bit for bit (SNR by Float64bits, so
+// NaN payloads and signed zeros count).
+func sameEvent(a, b *Event) bool {
+	if a.Ev != b.Ev || a.At != b.At || a.Src != b.Src || a.Seq != b.Seq ||
+		a.LQI != b.LQI || a.White != b.White ||
+		math.Float64bits(a.SNR) != math.Float64bits(b.SNR) ||
+		a.Acked != b.Acked || a.Silence != b.Silence || len(a.Links) != len(b.Links) {
+		return false
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecodeEvent drives arbitrary lines through the JSONL decoder. Four
+// properties, one per robustness promise: it never panics (malformed input
+// must not kill a stream), every rejection maps onto exactly one typed
+// error (callers branch on them), a reused decoder behaves exactly like a
+// fresh one (scratch reuse must never change outcomes — the property the
+// chaostest harness caught a queue-slot aliasing bug against), and the
+// hand-rolled fast path agrees with encoding/json on every input (the fast
+// path may only change speed, never acceptance, errors, or field bits).
+func FuzzDecodeEvent(f *testing.F) {
+	f.Add([]byte(`{"ev":"beacon","at":1,"src":2,"seq":3,"lqi":99,"white":true,"snr":7.5,"links":[{"addr":0,"q":200}]}`))
+	f.Add([]byte(`{"ev":"tx","at":5,"dest":3,"acked":true}`))
+	f.Add([]byte(`{"ev":"rx","at":5,"src":3,"lqi":80}`))
+	f.Add([]byte(`{"ev":"age","at":5,"silence":1000}`))
+	f.Add([]byte(`{"ev":"poison","at":5}`))
+	f.Add([]byte(`{"ev":"beacon","at":-1}`))
+	f.Add([]byte(`{"ev":"rx","at":5,"src":3,"lqi":80,"white":false,"snr":-0}`))
+	f.Add([]byte(`{"ev":"rx","at":5,"src":3,"lqi":80,"snr":1e300}`))
+	f.Add([]byte(`{"ev":"beacon","at":1,"src":2,"seq":3,"lqi":9,"links":[{"addr":1,"q":2},{"addr":1,"q":3}]}`))
+	f.Add([]byte(`{"ev":"tx","at":5,"dest":3,"acked":true,"acked":false}`))
+	f.Add([]byte(` {"ev":"age","at":5,"silence":1000}`))
+	f.Add([]byte(`{"ev":`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[{"ev":"tx"}]`))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var fresh Event
+		freshDec := EventDecoder{AllowPoison: true}
+		freshErr := freshDec.Decode(line, &fresh)
+
+		// The reference decoder: same line, encoding/json only.
+		var slow Event
+		slowDec := EventDecoder{AllowPoison: true, noFastPath: true}
+		slowErr := slowDec.Decode(line, &slow)
+
+		// A decoder that has chewed through other lines first must agree.
+		var reused Event
+		reusedDec := EventDecoder{AllowPoison: true}
+		_ = reusedDec.Decode([]byte(`{"ev":"beacon","at":9,"src":8,"seq":7,"lqi":6,"links":[{"addr":1,"q":2},{"addr":3,"q":4}]}`), &reused)
+		reusedErr := reusedDec.Decode(line, &reused)
+
+		if (freshErr == nil) != (reusedErr == nil) {
+			t.Fatalf("fresh err %v vs reused err %v", freshErr, reusedErr)
+		}
+		if (freshErr == nil) != (slowErr == nil) {
+			t.Fatalf("fast path changed acceptance: fast err %v vs slow err %v", freshErr, slowErr)
+		}
+		if freshErr != nil {
+			for name, err := range map[string]error{"fresh": freshErr, "slow": slowErr, "reused": reusedErr} {
+				n := 0
+				for _, sentinel := range []error{ErrEventSyntax, ErrEventKind, ErrEventField} {
+					if errors.Is(err, sentinel) {
+						n++
+					}
+				}
+				if n != 1 {
+					t.Fatalf("%s error maps onto %d sentinels, want exactly 1: %v", name, n, err)
+				}
+			}
+			if freshErr.Error() != slowErr.Error() {
+				t.Fatalf("fast path changed error wording:\n fast %v\n slow %v", freshErr, slowErr)
+			}
+			return
+		}
+
+		// Accepted events carry only in-range, fully-reset fields.
+		switch fresh.Ev {
+		case EvBeacon, EvTx, EvRx, EvAge, EvPoison:
+		default:
+			t.Fatalf("accepted unknown kind %q", fresh.Ev)
+		}
+		if fresh.At < 0 {
+			t.Fatalf("accepted negative at %d", fresh.At)
+		}
+		if len(fresh.Links) > packet.MaxLinkEntries {
+			t.Fatalf("accepted %d footer entries", len(fresh.Links))
+		}
+		if fresh.Ev != EvBeacon && len(fresh.Links) != 0 {
+			t.Fatalf("%s event leaked %d footer entries from scratch", fresh.Ev, len(fresh.Links))
+		}
+		if !sameEvent(&fresh, &slow) {
+			t.Fatalf("fast path diverged from encoding/json:\n fast %+v\n slow %+v", fresh, slow)
+		}
+		if !sameEvent(&fresh, &reused) {
+			t.Fatalf("reused decoder diverged:\n fresh  %+v\n reused %+v", fresh, reused)
+		}
+	})
+}
+
+// frameBody strips the length prefix off an AppendBatch frame, yielding the
+// body bytes DecodeBody consumes.
+func frameBody(t testing.TB, evs []Event) []byte {
+	frame, err := AppendBatch(nil, evs)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	_, n := binary.Uvarint(frame)
+	return frame[n:]
+}
+
+// FuzzDecodeWireBatch drives arbitrary frame bodies through the binary
+// batch decoder. Properties mirror FuzzDecodeEvent's: no panic, exactly one
+// typed error per rejection, scratch reuse never changes outcomes, and
+// decode∘encode is the identity — every accepted body's events re-encode
+// without error and decode back bit-identical.
+func FuzzDecodeWireBatch(f *testing.F) {
+	links := []packet.LinkEntry{{Addr: 1, InQuality: 200}, {Addr: 9, InQuality: 0}}
+	f.Add(frameBody(f, nil))
+	f.Add(frameBody(f, []Event{
+		{Ev: EvBeacon, At: 10, Src: 2, Seq: 3, LQI: 99, White: true, SNR: 7.5, Links: links},
+		{Ev: EvTx, At: 20, Src: 3, Acked: true},
+		{Ev: EvRx, At: 30, Src: 4, LQI: 80, SNR: -2.25},
+		{Ev: EvAge, At: 40, Silence: 1_000_000},
+		{Ev: EvPoison, At: 50},
+	}))
+	f.Add(frameBody(f, []Event{{Ev: EvRx, At: 1, Src: 0, SNR: math.Copysign(0, -1)}}))
+	f.Add([]byte{BatchVersion, 0x01})       // 1 event declared, no records
+	f.Add([]byte{BatchVersion + 1, 0x00})   // future version
+	f.Add([]byte{BatchVersion, 0x80, 0x80}) // torn count varint
+	f.Add([]byte{BatchVersion})             // count missing
+	f.Add([]byte(nil))                      // empty body
+	f.Add(append(frameBody(f, nil), 0x00))  // trailing record bytes
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fresh := BatchDecoder{AllowPoison: true}
+		evs, err := fresh.DecodeBody(body)
+
+		// A decoder with warm scratch from a previous batch must agree.
+		reusedDec := BatchDecoder{AllowPoison: true}
+		_, _ = reusedDec.DecodeBody(frameBody(t, []Event{
+			{Ev: EvBeacon, At: 1, Src: 1, Seq: 1, LQI: 1, Links: links},
+			{Ev: EvAge, At: 2, Silence: 5},
+		}))
+		reusedEvs, reusedErr := reusedDec.DecodeBody(body)
+
+		if (err == nil) != (reusedErr == nil) {
+			t.Fatalf("fresh err %v vs reused err %v", err, reusedErr)
+		}
+		if err != nil {
+			for name, e := range map[string]error{"fresh": err, "reused": reusedErr} {
+				n := 0
+				for _, sentinel := range []error{ErrFrame, ErrFrameVersion, ErrRecord} {
+					if errors.Is(e, sentinel) {
+						n++
+					}
+				}
+				if n != 1 {
+					t.Fatalf("%s error maps onto %d sentinels, want exactly 1: %v", name, n, e)
+				}
+			}
+			return
+		}
+		if len(evs) != len(reusedEvs) {
+			t.Fatalf("reused decoder yielded %d events, fresh %d", len(reusedEvs), len(evs))
+		}
+		for i := range evs {
+			if !sameEvent(&evs[i], &reusedEvs[i]) {
+				t.Fatalf("event %d diverged across scratch reuse:\n fresh  %+v\n reused %+v", i, evs[i], reusedEvs[i])
+			}
+		}
+
+		// decode∘encode identity: everything the strict decoder accepted
+		// must re-encode cleanly and decode back bit-identical.
+		reFrame, err := AppendBatch(nil, evs)
+		if err != nil {
+			t.Fatalf("decoded events failed to re-encode: %v", err)
+		}
+		roundDec := BatchDecoder{AllowPoison: true}
+		roundEvs, n, err := roundDec.DecodeFrame(reFrame)
+		if err != nil || n != len(reFrame) {
+			t.Fatalf("re-encoded frame failed to decode (n=%d of %d): %v", n, len(reFrame), err)
+		}
+		if len(roundEvs) != len(evs) {
+			t.Fatalf("round trip yielded %d events, want %d", len(roundEvs), len(evs))
+		}
+		for i := range evs {
+			if !sameEvent(&evs[i], &roundEvs[i]) {
+				t.Fatalf("event %d changed across encode∘decode:\n before %+v\n after  %+v", i, evs[i], roundEvs[i])
+			}
+		}
+	})
+}

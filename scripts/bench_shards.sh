@@ -1,0 +1,88 @@
+#!/bin/sh
+# bench_shards.sh — ROADMAP item 1's multi-core measurement, one command
+# on a real box: runs the shard-axis CityScale benchmarks (the scripted
+# city load through the region-sharded dispatch path at every shard
+# count) and snapshots the results into
+# BENCH_SHARDS_<date>_p<GOMAXPROCS>.json. GOMAXPROCS is stamped into the
+# snapshot name because it decides what the shard axis measures: at p=1
+# the shards=8/shards=1 ratio is pure barrier-and-handoff overhead, at
+# p>=8 it is the parallel speedup — snapshots from different boxes must
+# never be confused for each other.
+#
+# Usage: scripts/bench_shards.sh [benchtime] [output.json]
+#   benchtime: go test -benchtime value (default 2x; these are multi-second
+#              city runs, so iteration counts beat wall-clock budgets)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2x}"
+
+procs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
+
+if [ $# -ge 2 ]; then
+	out="$2"
+else
+	# Never clobber an existing snapshot: append a run counter when the
+	# dated name is taken (same convention as bench.sh).
+	out="BENCH_SHARDS_$(date +%Y-%m-%d)_p${procs}.json"
+	n=2
+	while [ -e "$out" ]; do
+		out="BENCH_SHARDS_$(date +%Y-%m-%d)_p${procs}.$n.json"
+		n=$((n + 1))
+	done
+fi
+
+echo "== shard-axis city benches (benchtime ${benchtime}, GOMAXPROCS ${procs})"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench '^BenchmarkCityScale$/^n=.*-shards=' \
+	-benchtime "$benchtime" -benchmem -timeout 60m . | tee "$tmp"
+
+grep -q '^BenchmarkCityScale' "$tmp" || {
+	echo "bench-shards: no shard benchmarks ran" >&2
+	exit 1
+}
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go version | sed 's/[\\"]/\\&/g')"
+	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	printf '  "gomaxprocs": %s,\n' "$procs"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "benchmarks": [\n'
+	grep '^Benchmark' "$tmp" | tr '\t' ' ' | sed 's/[\\"]/\\&/g; s/^/    "/; s/$/",/' | sed '$ s/,$//'
+	printf '  ]\n'
+	printf '}\n'
+} >"$out"
+
+echo "== wrote $out"
+
+# Speedup table: ns/simsec per shard count, normalized to shards=1 within
+# each n — the number ROADMAP item 1 asks for.
+awk '
+	/^BenchmarkCityScale\// {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		sub(/^BenchmarkCityScale\//, "", name)
+		if (!match(name, /-shards=[0-9]+$/)) next
+		shards = substr(name, RSTART + 8) + 0
+		n = substr(name, 1, RSTART - 1); sub(/^n=/, "", n)
+		for (i = 2; i < NF; i++)
+			if ($(i + 1) == "ns/simsec") nss[n, shards] = $i
+		if (!(n in seen)) { order[++k] = n; seen[n] = 1 }
+		counts[shards] = 1
+	}
+	END {
+		printf "%-8s %8s %14s %9s\n", "n", "shards", "ns/simsec", "speedup"
+		for (j = 1; j <= k; j++) {
+			n = order[j]
+			base = nss[n, 1]
+			for (s = 1; s <= 64; s++) {
+				if (!((n, s) in nss)) continue
+				spd = (base > 0 && nss[n, s] > 0) ? base / nss[n, s] : 0
+				printf "%-8s %8d %14.0f %8.2fx\n", n, s, nss[n, s], spd
+			}
+		}
+	}
+' "$tmp"
